@@ -1,0 +1,50 @@
+"""Section 5.2: the composed <54,54,54> algorithm (asymptotically fastest
+implementation, omega ~= 2.775 at the paper's rank-40 <3,3,6>).
+
+Paper conclusion reproduced: despite the best exponent, the composed
+algorithm loses to Strassen and to the vendor gemm at practical sizes --
+the addition overhead swamps the multiplication savings.
+"""
+
+from conftest import bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.metrics import effective_gflops, median_time
+from repro.bench.workloads import scaled, square
+from repro.codegen import compile_algorithm
+from repro.core.cost import composed_exponent
+from repro.core.recursion import multiply_schedule
+from repro.parallel import blas
+
+
+def test_composed_54(benchmark):
+    s336 = get_algorithm("s336")
+    sched = [s336, get_algorithm("s363"), get_algorithm("s633")]
+    omega = composed_exponent([(3, 3, 6), (3, 6, 3), (6, 3, 3)],
+                              [s336.rank] * 3)
+
+    n = scaled(1080)  # divisible by 54 twice... 1080 = 54 * 20
+    A, B = square(n).matrices()
+    strassen = compile_algorithm(get_algorithm("strassen"))
+    with blas.blas_threads(1):
+        t_gemm = median_time(lambda: A @ B, trials=3)
+        t_str = median_time(lambda: strassen(A, B, steps=2), trials=3)
+        t_54_1 = median_time(lambda: multiply_schedule(A, B, sched[:1]), trials=3)
+        t_54_3 = median_time(lambda: multiply_schedule(A, B, sched), trials=3)
+
+    g = lambda t: effective_gflops(n, n, n, t)  # noqa: E731
+    print(f"\n== Section 5.2: composed <54,54,54> at N={n} ==")
+    print(f"rank per level: {s336.rank} (paper: 40) -> omega = {omega:.4f} "
+          f"(paper: 2.775)")
+    print(f"{'variant':<28} {'eff. GFLOPS':>12}")
+    print(f"{'dgemm':<28} {g(t_gemm):>12.2f}")
+    print(f"{'strassen (2 steps)':<28} {g(t_str):>12.2f}")
+    print(f"{'<3,3,6> one level':<28} {g(t_54_1):>12.2f}")
+    print(f"{'<54,54,54> (full 3 levels)':<28} {g(t_54_3):>12.2f}")
+    verdict = "PASS" if g(t_54_3) < max(g(t_str), g(t_gemm)) else "MISS"
+    print(f"paper-shape check: composed algorithm impractical at modest N: "
+          f"{verdict}")
+
+    with blas.blas_threads(1):
+        bench_once(benchmark, lambda: multiply_schedule(A, B, sched))
+    assert t_54_3 > 0

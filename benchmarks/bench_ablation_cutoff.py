@@ -1,0 +1,48 @@
+"""Ablation (Section 3.4): recursion depth vs problem size, and the
+measured-curve cutoff rule.
+
+Sweeps steps 0..3 for Strassen over sizes straddling the dgemm ramp-up;
+the best depth should grow with N, and ``recommended_steps`` driven by the
+measured curve should be within one step of the empirical optimum.
+"""
+
+from conftest import bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.machine import measure_gemm_curve, recommended_steps
+from repro.bench.metrics import median_time
+from repro.bench.workloads import scaled, square
+from repro.codegen import compile_algorithm
+from repro.parallel import blas
+
+SIZES = [scaled(n) for n in (256, 512, 1024, 2048)]
+
+
+def test_cutoff_rule(benchmark):
+    f = compile_algorithm(get_algorithm("strassen"))
+    curve = measure_gemm_curve([scaled(x) for x in (64, 128, 256, 512, 1024)],
+                               threads=1, trials=2)
+    rows = []
+    with blas.blas_threads(1):
+        for n in SIZES:
+            A, B = square(n).matrices()
+            times = {s: median_time(lambda: f(A, B, steps=s), trials=3)
+                     for s in range(4)}
+            best = min(times, key=times.get)
+            rec = recommended_steps(curve, n, 2, 1 / 7, max_steps=3)
+            rows.append((n, times, best, rec))
+
+    A, B = square(SIZES[-1]).matrices()
+    with blas.blas_threads(1):
+        bench_once(benchmark, lambda: f(A, B, steps=1))
+
+    print("\n== Ablation: recursion depth (Strassen, sequential) ==")
+    print(f"{'N':>6} {'steps0':>9} {'steps1':>9} {'steps2':>9} {'steps3':>9}"
+          f" {'best':>5} {'rule':>5}")
+    agree = 0
+    for n, times, best, rec in rows:
+        print(f"{n:>6} " + " ".join(f"{times[s]:>9.4f}" for s in range(4))
+              + f" {best:>5} {rec:>5}")
+        agree += abs(best - rec) <= 1
+    print(f"cutoff rule within one step of empirical best: {agree}/{len(rows)}")
+    assert agree >= len(rows) // 2

@@ -1,0 +1,45 @@
+"""Ablation (Section 4.3): HYBRID vs the alternative sub-group hybrid.
+
+The alternative assigns leftover leaf multiplies to disjoint groups of
+P' < P threads instead of running them one-by-one on all P threads.  The
+paper expects it to reduce the hard-to-scale small multiplies but to add
+load-balancing complexity; we measure both at the full core count.
+"""
+
+from conftest import LARGE_CORES, bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.metrics import median_time
+from repro.bench.workloads import scaled, square
+from repro.parallel import multiply_parallel
+
+ALGS = ["strassen", "s333"]
+
+
+def test_hybrid_variants(benchmark, pool):
+    n = scaled(1024)
+    A, B = square(n).matrices()
+    print(f"\n== Ablation: hybrid remainder strategy at N={n}, "
+          f"P={LARGE_CORES} ==")
+    print(f"{'algorithm':<10} {'hybrid':>10} {'subgroup':>10}")
+    results = {}
+    for name in ALGS:
+        alg = get_algorithm(name)
+        t_h = median_time(
+            lambda: multiply_parallel(A, B, alg, steps=1, scheme="hybrid",
+                                      pool=pool, threads=LARGE_CORES),
+            trials=3,
+        )
+        t_s = median_time(
+            lambda: multiply_parallel(A, B, alg, steps=1,
+                                      scheme="hybrid-subgroup", pool=pool,
+                                      threads=LARGE_CORES, subgroup=1),
+            trials=3,
+        )
+        results[name] = (t_h, t_s)
+        print(f"{name:<10} {t_h:>10.4f} {t_s:>10.4f}")
+
+    bench_once(benchmark, lambda: multiply_parallel(
+        A, B, get_algorithm("strassen"), steps=1, scheme="hybrid",
+        pool=pool, threads=LARGE_CORES))
+    assert all(t > 0 for pair in results.values() for t in pair)

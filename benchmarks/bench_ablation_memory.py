@@ -1,0 +1,70 @@
+"""Ablation (Sections 3.2 / 4.2): memory footprint of strategies & schemes.
+
+Two of the paper's memory claims, measured with tracemalloc:
+
+- streaming additions materialize all R temporaries at once (R/2-fold the
+  write-once pair) -- Section 3.2;
+- BFS needs ~R/(MN) times the output memory per recursion level for the
+  M_r intermediates -- Section 4.2.
+"""
+
+import tracemalloc
+
+from conftest import bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.workloads import scaled, square
+from repro.codegen import compile_algorithm
+from repro.core.cost import bfs_memory_factor, temporaries_memory
+from repro.parallel import WorkerPool, multiply_parallel
+
+
+def _peak_bytes(fn) -> int:
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def test_strategy_memory(benchmark):
+    alg = get_algorithm("s424")
+    n = scaled(512)
+    A, B = square(n).matrices()
+    fs = {s: compile_algorithm(alg, s) for s in
+          ("pairwise", "write_once", "streaming")}
+    peaks = {s: _peak_bytes(lambda f=f: f(A, B, steps=1))
+             for s, f in fs.items()}
+    bench_once(benchmark, lambda: fs["write_once"](A, B, steps=1))
+
+    print(f"\n== Memory: addition strategies, <4,2,4> 1 step, N={n} ==")
+    print(f"{'strategy':<12} {'peak MiB':>10} {'model temporaries':>18}")
+    for s, p in peaks.items():
+        print(f"{s:<12} {p / 2**20:>10.1f} {temporaries_memory(alg, s):>18}")
+    verdict = "PASS" if peaks["streaming"] > peaks["write_once"] else "MISS"
+    print(f"paper-shape check: streaming needs more temporary memory: {verdict}")
+    assert peaks["streaming"] > 0
+
+
+def test_scheme_memory(benchmark):
+    alg = get_algorithm("strassen")
+    n = scaled(512)
+    A, B = square(n).matrices()
+    with WorkerPool(2) as pool:
+        peak_dfs = _peak_bytes(
+            lambda: multiply_parallel(A, B, alg, steps=1, scheme="dfs",
+                                      pool=pool))
+        peak_bfs = _peak_bytes(
+            lambda: multiply_parallel(A, B, alg, steps=1, scheme="bfs",
+                                      pool=pool))
+        bench_once(benchmark, lambda: multiply_parallel(
+            A, B, alg, steps=1, scheme="bfs", pool=pool))
+
+    print(f"\n== Memory: parallel schemes, Strassen 1 step, N={n} ==")
+    print(f"dfs peak {peak_dfs / 2**20:.1f} MiB, bfs peak "
+          f"{peak_bfs / 2**20:.1f} MiB "
+          f"(model: BFS holds ~R/(MN) = {bfs_memory_factor(alg):.2f}x C "
+          f"in M_r intermediates)")
+    verdict = "PASS" if peak_bfs > peak_dfs else "MISS"
+    print(f"paper-shape check: BFS needs more memory than DFS: {verdict}")
+    assert peak_bfs > 0

@@ -1,0 +1,78 @@
+"""Figure 2: the three matrix-addition strategies x CSE, 1 and 2 steps.
+
+Panels: <4,2,4> on N x K x N (outer-product shape) and <4,2,3> on
+N x N x N.  Paper finding: write-once without CSE is the best default;
+pairwise is slowest (more reads/writes); CSE can hurt write-once.
+"""
+
+import itertools
+
+from conftest import bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.metrics import effective_gflops, median_time
+from repro.bench.workloads import outer, scaled, square
+from repro.codegen import STRATEGIES, compile_algorithm
+from repro.parallel import blas
+
+VARIANTS = [(s, c) for s in STRATEGIES for c in (False, True)]
+
+
+def _sweep(alg_name, workloads, steps_options):
+    alg = get_algorithm(alg_name)
+    rows = []
+    with blas.blas_threads(1):
+        for wl in workloads:
+            A, B = wl.matrices()
+            t_gemm = median_time(lambda: A @ B, trials=3)
+            per_variant = {}
+            for strategy, cse in VARIANTS:
+                f = compile_algorithm(alg, strategy, cse)
+                for steps in steps_options:
+                    sec = median_time(lambda: f(A, B, steps=steps), trials=3)
+                    per_variant[(strategy, cse, steps)] = effective_gflops(
+                        wl.p, wl.q, wl.r, sec
+                    )
+            rows.append((wl, effective_gflops(wl.p, wl.q, wl.r, t_gemm),
+                         per_variant))
+    return rows
+
+
+def _print_panel(title, rows, steps_options):
+    print(f"\n== Figure 2 panel: {title} ==")
+    hdr = f"{'workload':<16} {'dgemm':>8}"
+    for s, c in VARIANTS:
+        tag = s.replace("_", "-")[:6] + ("+cse" if c else "")
+        hdr += f" {tag:>11}"
+    for steps in steps_options:
+        print(f"-- {steps} recursive step(s) --")
+        print(hdr)
+        for wl, g_gemm, pv in rows:
+            line = f"{wl.label:<16} {g_gemm:>8.2f}"
+            for s, c in VARIANTS:
+                line += f" {pv[(s, c, steps)]:>11.2f}"
+            print(line)
+
+
+def test_fig2_424_outer(benchmark):
+    wls = [outer(scaled(n), scaled(416)) for n in (768, 1280)]
+    rows = _sweep("s424", wls, (1, 2))
+    _print_panel("<4,2,4> on N x K x N", rows, (1, 2))
+    A, B = wls[-1].matrices()
+    f = compile_algorithm(get_algorithm("s424"), "write_once", False)
+    with blas.blas_threads(1):
+        bench_once(benchmark, lambda: f(A, B, steps=1))
+    # write-once (no cse) should not be dominated by pairwise variants
+    _, _, pv = rows[-1]
+    assert pv[("write_once", False, 1)] > 0.5 * pv[("pairwise", False, 1)]
+
+
+def test_fig2_423_square(benchmark):
+    wls = [square(scaled(n)) for n in (768, 1280)]
+    rows = _sweep("s423", wls, (1, 2))
+    _print_panel("<4,2,3> on N x N x N", rows, (1, 2))
+    A, B = wls[-1].matrices()
+    f = compile_algorithm(get_algorithm("s423"), "write_once", False)
+    with blas.blas_threads(1):
+        bench_once(benchmark, lambda: f(A, B, steps=1))
+    assert rows

@@ -1,0 +1,58 @@
+"""Figure 3: dgemm ramp-up curves, serial and parallel, three shapes.
+
+Reproduces the machine-model measurement that drives the Section 3.4
+cutoff rule: performance ramps up with N and flattens; square problems
+flatten higher than fixed-inner-dimension shapes; the parallel curve needs
+larger N to flatten.
+"""
+
+from conftest import LARGE_CORES, bench_once
+
+from repro.bench.machine import measure_gemm_curve
+from repro.bench.workloads import scaled
+
+SIZES = [scaled(n) for n in (128, 256, 512, 768, 1024, 1536)]
+FIXED = scaled(208)
+
+
+def test_fig3_serial(benchmark):
+    curves = {
+        "N x N x N": measure_gemm_curve(SIZES, threads=1, shape="square"),
+        f"N x {FIXED} x N": measure_gemm_curve(SIZES, threads=1, shape="outer",
+                                               fixed=FIXED),
+        f"N x {FIXED} x {FIXED}": measure_gemm_curve(SIZES, threads=1,
+                                                     shape="ts", fixed=FIXED),
+    }
+    bench_once(benchmark, lambda: measure_gemm_curve([SIZES[-1]], threads=1,
+                                                     trials=1))
+    print("\n== Figure 3 (left): sequential dgemm GFLOPS ==")
+    print(f"{'N':>6} " + " ".join(f"{k:>16}" for k in curves))
+    for i, n in enumerate(SIZES):
+        print(f"{n:>6} " + " ".join(f"{c.gflops[i]:>16.2f}"
+                                    for c in curves.values()))
+    sq = curves["N x N x N"]
+    print(f"ramp-up flattens (90% of peak) near N = {sq.flat_size()}")
+    # square flattens at or above the fixed-dimension shapes' levels
+    assert sq.peak >= 0.8 * max(c.peak for c in curves.values())
+
+
+def test_fig3_parallel(benchmark):
+    curves = {
+        "N x N x N": measure_gemm_curve(SIZES, threads=LARGE_CORES,
+                                        shape="square"),
+        f"N x {FIXED} x N": measure_gemm_curve(SIZES, threads=LARGE_CORES,
+                                               shape="outer", fixed=FIXED),
+    }
+    bench_once(benchmark, lambda: measure_gemm_curve([SIZES[-1]],
+                                                     threads=LARGE_CORES,
+                                                     trials=1))
+    print(f"\n== Figure 3 (right): parallel dgemm GFLOPS/core "
+          f"({LARGE_CORES} threads) ==")
+    print(f"{'N':>6} " + " ".join(f"{k:>16}" for k in curves))
+    for i, n in enumerate(SIZES):
+        print(f"{n:>6} " + " ".join(f"{c.gflops[i] / LARGE_CORES:>16.2f}"
+                                    for c in curves.values()))
+    sq = curves["N x N x N"]
+    print(f"parallel ramp-up flattens near N = {sq.flat_size()} "
+          f"(paper: later than serial)")
+    assert all(g > 0 for g in sq.gflops)

@@ -1,0 +1,90 @@
+"""Figure 4: BFS vs DFS vs HYBRID at small and large core counts.
+
+Three panels: Strassen on N x N x N, <4,2,4> on N x K x N, <4,3,3> on
+N x K x K.  Paper findings reproduced as printed verdicts: HYBRID wins on
+small problems (BFS suffers when P does not divide the task count; with
+Strassen's 7 leaf tasks that is nearly always), DFS needs leaves past the
+parallel ramp-up.
+"""
+
+import pytest
+from conftest import LARGE_CORES, SMALL_CORES, bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.metrics import effective_gflops, median_time
+from repro.bench.workloads import outer, scaled, square, ts_square
+from repro.parallel import WorkerPool, blas, multiply_parallel
+
+SCHEMES = ("dfs", "bfs", "hybrid")
+
+
+def _panel(alg_name, workloads, pool, cores, steps_options=(1, 2)):
+    alg = get_algorithm(alg_name)
+    rows = []
+    for wl in workloads:
+        A, B = wl.matrices()
+        with blas.blas_threads(cores):
+            t_gemm = median_time(lambda: A @ B, trials=3)
+        per = {"dgemm": effective_gflops(wl.p, wl.q, wl.r, t_gemm) / cores}
+        for scheme in SCHEMES:
+            sec = min(
+                median_time(
+                    lambda: multiply_parallel(A, B, alg, steps=s,
+                                              scheme=scheme, pool=pool,
+                                              threads=cores),
+                    trials=3,
+                )
+                for s in steps_options
+            )
+            per[scheme] = effective_gflops(wl.p, wl.q, wl.r, sec) / cores
+        rows.append((wl, per))
+    return rows
+
+
+def _print(title, cores, rows):
+    print(f"\n== Figure 4 panel: {title}, {cores} core(s) "
+          f"(eff. GFLOPS/core) ==")
+    print(f"{'workload':<16} {'dgemm':>8} {'dfs':>8} {'bfs':>8} {'hybrid':>8}")
+    for wl, per in rows:
+        print(f"{wl.label:<16} {per['dgemm']:>8.2f} {per['dfs']:>8.2f} "
+              f"{per['bfs']:>8.2f} {per['hybrid']:>8.2f}")
+    last = rows[-1][1]
+    best = max(SCHEMES, key=lambda s: last[s])
+    print(f"best scheme at largest size: {best} "
+          f"(paper: hybrid/bfs at low cores, hybrid/dfs at high)")
+
+
+@pytest.mark.parametrize("cores", [SMALL_CORES, LARGE_CORES])
+def test_fig4_strassen_square(benchmark, pool, cores):
+    wls = [square(scaled(n)) for n in (768, 1536)]
+    rows = _panel("strassen", wls, pool, cores)
+    _print("Strassen on N x N x N", cores, rows)
+    A, B = wls[-1].matrices()
+    bench_once(benchmark, lambda: multiply_parallel(
+        A, B, get_algorithm("strassen"), steps=1, scheme="hybrid",
+        pool=pool, threads=cores))
+    assert all(per["hybrid"] > 0 for _, per in rows)
+
+
+@pytest.mark.parametrize("cores", [LARGE_CORES])
+def test_fig4_424_outer(benchmark, pool, cores):
+    wls = [outer(scaled(n), scaled(728)) for n in (1024, 1536)]
+    rows = _panel("s424", wls, pool, cores)
+    _print("<4,2,4> on N x K x N", cores, rows)
+    A, B = wls[0].matrices()
+    bench_once(benchmark, lambda: multiply_parallel(
+        A, B, get_algorithm("s424"), steps=1, scheme="hybrid",
+        pool=pool, threads=cores))
+    assert rows
+
+
+@pytest.mark.parametrize("cores", [LARGE_CORES])
+def test_fig4_433_ts(benchmark, pool, cores):
+    wls = [ts_square(scaled(n), scaled(780)) for n in (2048, 3072)]
+    rows = _panel("s433", wls, pool, cores)
+    _print("<4,3,3> on N x K x K", cores, rows)
+    A, B = wls[0].matrices()
+    bench_once(benchmark, lambda: multiply_parallel(
+        A, B, get_algorithm("s433"), steps=1, scheme="hybrid",
+        pool=pool, threads=cores))
+    assert rows

@@ -1,0 +1,48 @@
+"""Figure 6: parallel performance on square problems, small vs all cores.
+
+Paper findings: with few cores (no bandwidth bottleneck) fast algorithms
+beat the vendor gemm like in the sequential case; at full core count the
+margin shrinks but Strassen / <3,3,2> / <4,3,3> remain competitive.
+"""
+
+import pytest
+from conftest import LARGE_CORES, SMALL_CORES, bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.runner import run_parallel, winners_by_workload
+from repro.bench.workloads import scaled, square
+
+ALGS = ["strassen", "s422", "s332", "s423", "s333", "s424", "s433",
+        "bini322", "schonhage333"]
+
+
+def _algs():
+    d = {"dgemm": None}
+    for n in ALGS:
+        d[n] = get_algorithm(n)
+    return d
+
+
+@pytest.mark.parametrize("cores,schemes", [
+    (SMALL_CORES, ("bfs", "hybrid")),
+    (LARGE_CORES, ("dfs", "hybrid")),
+])
+def test_fig6_square(benchmark, cores, schemes):
+    wls = [square(scaled(n)) for n in (1024, 1536)]
+    rows = run_parallel(
+        _algs(), wls, cores=cores, schemes=schemes, step_options=(1, 2),
+        trials=2, title=f"Figure 6: square, {cores} core(s)",
+    )
+    w = winners_by_workload(rows)
+    print(f"winners: {w}")
+    by_name = {r.algorithm: r.gflops for r in rows if r.workload == wls[-1].label}
+    verdict = "PASS" if by_name["strassen"] > 0.85 * by_name["dgemm"] else "MISS"
+    print(f"paper-shape check: strassen competitive with dgemm "
+          f"({by_name['strassen'] / by_name['dgemm']:.3f}x): {verdict}")
+    A, B = wls[0].matrices()
+    from repro.parallel import multiply_parallel
+
+    bench_once(benchmark, lambda: multiply_parallel(
+        A, B, get_algorithm("strassen"), steps=1, scheme="hybrid",
+        threads=cores))
+    assert rows

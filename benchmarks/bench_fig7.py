@@ -1,0 +1,60 @@
+"""Figure 7: parallel performance on rectangular problems.
+
+Paper findings: at low core counts all fast algorithms beat the vendor
+gemm and the shape-matched ones (<3,2,3> on outer product, <4,3,3> on
+tall-skinny) lead; at full core count bandwidth makes the classical call
+hardest to beat (additions do not scale).
+"""
+
+import pytest
+from conftest import LARGE_CORES, SMALL_CORES, bench_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.runner import run_parallel, winners_by_workload
+from repro.bench.workloads import fig7_outer_sweep, fig7_ts_sweep
+
+ALGS = ["strassen", "s424", "s433", "s323", "s423", "bini322", "schonhage333"]
+
+
+def _algs():
+    d = {"dgemm": None}
+    for n in ALGS:
+        d[n] = get_algorithm(n)
+    return d
+
+
+@pytest.mark.parametrize("cores,schemes", [
+    (SMALL_CORES, ("bfs", "hybrid")),
+    (LARGE_CORES, ("dfs", "hybrid")),
+])
+def test_fig7_outer(benchmark, cores, schemes):
+    wls = fig7_outer_sweep()[-2:]
+    rows = run_parallel(
+        _algs(), wls, cores=cores, schemes=schemes, step_options=(1, 2),
+        trials=2, title=f"Figure 7: N x K x N, {cores} core(s)",
+    )
+    print(f"winners: {winners_by_workload(rows)}")
+    A, B = wls[0].matrices()
+    from repro.parallel import multiply_parallel
+
+    bench_once(benchmark, lambda: multiply_parallel(
+        A, B, get_algorithm("s424"), steps=1, scheme="hybrid", threads=cores))
+    assert rows
+
+
+@pytest.mark.parametrize("cores,schemes", [
+    (LARGE_CORES, ("dfs", "hybrid")),
+])
+def test_fig7_ts(benchmark, cores, schemes):
+    wls = fig7_ts_sweep()[-2:]
+    rows = run_parallel(
+        _algs(), wls, cores=cores, schemes=schemes, step_options=(1, 2),
+        trials=2, title=f"Figure 7: N x K x K, {cores} core(s)",
+    )
+    print(f"winners: {winners_by_workload(rows)}")
+    A, B = wls[0].matrices()
+    from repro.parallel import multiply_parallel
+
+    bench_once(benchmark, lambda: multiply_parallel(
+        A, B, get_algorithm("s433"), steps=1, scheme="hybrid", threads=cores))
+    assert rows

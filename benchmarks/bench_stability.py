@@ -1,0 +1,40 @@
+"""Extension bench (paper Section 6): empirical numerical stability.
+
+Not a table in the paper's evaluation -- Section 6 explicitly defers it to
+the framework's "rapid empirical testing".  We regenerate that testing:
+theoretical growth factors next to measured error at depth 1/2 for the
+catalog, plus the APA cliff.
+"""
+
+from conftest import bench_once
+
+from repro.algorithms import get_algorithm
+from repro.core.stability import measure_error_growth, stability_factors
+
+NAMES = ["strassen", "winograd", "hk223", "s233", "s234", "s244", "s333",
+         "s334", "bini322", "schonhage333"]
+
+
+def test_stability_table(benchmark):
+    rows = []
+    for name in NAMES:
+        alg = get_algorithm(name)
+        f = stability_factors(alg)
+        m = measure_error_growth(alg, n=216, steps=(1, 2), seed=7)
+        rows.append((name, f.emax, m.rel_errors[0], m.rel_errors[1]))
+
+    bench_once(benchmark, lambda: measure_error_growth(
+        get_algorithm("strassen"), n=216, steps=(1,), seed=7))
+
+    print("\n== Stability: theoretical growth vs measured error ==")
+    print(f"{'algorithm':<14} {'emax':>10} {'err @1 step':>12} {'err @2 steps':>13}")
+    for name, emax, e1, e2 in rows:
+        print(f"{name:<14} {emax:>10.1f} {e1:>12.2e} {e2:>13.2e}")
+
+    exact = [r for r in rows if not get_algorithm(r[0]).apa]
+    apa = [r for r in rows if get_algorithm(r[0]).apa]
+    worst_exact = max(r[3] for r in exact)
+    best_apa = min(r[2] for r in apa)
+    print(f"worst exact error {worst_exact:.2e} << best APA error "
+          f"{best_apa:.2e}: {'PASS' if worst_exact < best_apa else 'MISS'}")
+    assert worst_exact < 1e-9

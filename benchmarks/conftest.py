@@ -1,0 +1,45 @@
+"""Shared fixtures/helpers for the figure/table benchmark suite.
+
+Every ``bench_*`` file regenerates one paper artifact: it prints the
+paper-style rows (run with ``-s`` to see them) and registers at least one
+pytest-benchmark timing so ``pytest benchmarks/ --benchmark-only`` gives a
+machine-readable summary.  Problem sizes are scaled for a small node; set
+``REPRO_BENCH_SCALE`` to rescale (1.0 = defaults documented in
+EXPERIMENTS.md, paper sizes are ~4x larger).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import WorkerPool, available_cores
+
+#: the paper contrasts 6 vs 24 cores; on this node we contrast 1 vs all
+SMALL_CORES = 1
+LARGE_CORES = max(2, available_cores())
+
+
+def collect(name):
+    """Import hook used by bench files to share result rows in-session."""
+    return _RESULTS.setdefault(name, [])
+
+
+_RESULTS: dict[str, list] = {}
+
+
+@pytest.fixture(scope="session")
+def pool():
+    with WorkerPool(LARGE_CORES) as p:
+        yield p
+
+
+@pytest.fixture(scope="session")
+def small_pool():
+    with WorkerPool(SMALL_CORES) as p:
+        yield p
+
+
+def bench_once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark using few, controlled rounds
+    (sweeps inside the bench files already take medians)."""
+    return benchmark.pedantic(fn, rounds=3, warmup_rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Distributed-memory communication costs (paper Section 6 extension).
+
+Run:  python examples/distributed_communication.py
+
+The paper's closing argument for distributed memory: fast algorithms
+reduce communication as well as flops, and aggregate bandwidth scales with
+nodes (unlike the shared-memory case).  This example simulates it in the
+alpha-beta-gamma model: SUMMA vs the CAPS-style BFS/DFS parallelization of
+Strassen, the schedule chooser under a memory cap, and the per-processor
+word counts across machine sizes.
+"""
+
+from repro.algorithms import get_algorithm, strassen
+from repro.distributed import (
+    Machine,
+    best_schedule,
+    caps_cost,
+    enumerate_schedules,
+    summa_cost,
+    threed_cost,
+)
+from repro.distributed.fast import bandwidth_exponent
+
+
+def main() -> None:
+    n = 16384
+    P = 7 ** 4  # 2401 processors; sqrt(P) = 49 for the SUMMA grid
+    mach = Machine(P)
+
+    print(f"N = {n}, P = {P} (alpha-beta-gamma model)\n")
+    summa = summa_cost(n, mach)
+    caps = caps_cost(strassen(), n, mach, "BBBB")
+    print(f"{'algorithm':<28} {'words/proc':>14} {'flops/proc':>14} "
+          f"{'est. time':>10}")
+    for c in (summa, caps):
+        print(f"{c.label:<28.28} {c.words:>14.3e} {c.flops:>14.3e} "
+              f"{c.time(mach):>10.4f}")
+    print(f"\nStrassen moves {summa.words / caps.words:.2f}x fewer words "
+          f"per processor than SUMMA at this scale.")
+
+    print("\nBandwidth scaling exponents (words ~ n^2 / P^e):")
+    print(f"  classical 2D: e = 0.5,  classical 3D: e = {2 / 3:.3f}")
+    for name in ("strassen", "s244", "s333"):
+        alg = get_algorithm(name)
+        print(f"  {name:<10} e = {bandwidth_exponent(alg):.3f} "
+              f"(omega = {alg.exponent:.3f})")
+
+    print("\nSchedule chooser under a memory cap (P = 49, N = 4096):")
+    small = Machine(49)
+    for cap_factor, label in [(float("inf"), "unlimited"), (1.5, "tight")]:
+        data = 3 * 4096 ** 2 / 49
+        m = Machine(49, memory_words=data * cap_factor)
+        try:
+            sched, cost = best_schedule(strassen(), 4096, m, max_steps=2)
+            print(f"  memory {label:<10}: best schedule {sched or '(classical)':<6} "
+                  f"words/proc {cost.words:.3e} peak mem {cost.peak_memory:.3e}")
+        except ValueError as e:
+            print(f"  memory {label:<10}: {e}")
+
+    print("\nAll feasible schedules at P = 49, N = 4096:")
+    for sched, cost in enumerate_schedules(strassen(), 4096, small, 2):
+        print(f"  {sched or '--':<4} words {cost.words:>12.3e} "
+              f"peak {cost.peak_memory:>12.3e}")
+    print("\nBFS steps cut words at the price of memory; DFS steps save "
+          "memory at the price of serialization -- the CAPS trade-off the "
+          "paper's Section 6 points to.")
+
+
+if __name__ == "__main__":
+    main()

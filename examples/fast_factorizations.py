@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Fast matrix multiplication inside LU / Cholesky / TRSM (paper §6).
+
+The paper's discussion section proposes incorporating fast algorithms
+into broader dense linear algebra.  ``repro.linalg`` does exactly that:
+every blocked driver takes a :class:`repro.linalg.MatmulKernel`, and the
+kernel decides whether the O(n³) trailing updates run through the vendor
+BLAS or through any fast algorithm from the catalog (with any recursion
+depth / parallel scheme).
+
+This example factors the same matrices three ways — vendor BLAS kernel,
+Strassen kernel, and a shape-matched ⟨4,2,4⟩ kernel — and reports time,
+backward error, and where the flops actually went.  It ends with the
+Newton–Schulz iteration, whose repeated products make accumulated
+fast-multiply rounding visible (and show it converging to the same
+inverse regardless).
+
+Run:  python examples/fast_factorizations.py [n]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.linalg import (
+    MatmulKernel,
+    cholesky,
+    invert_triangular,
+    lu_factor,
+    newton_schulz,
+)
+from repro.linalg.cholesky import cholesky_error
+from repro.linalg.lu import lu_error
+from repro.parallel import blas
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def main(n: int = 1200) -> None:
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n)) + n * np.eye(n)
+    SPD = A @ A.T / n
+    block = 128
+
+    kernels = {
+        "vendor BLAS": MatmulKernel(),
+        "strassen (2 steps)": MatmulKernel(algorithm="strassen", steps=2,
+                                           min_dim=block, counting=True),
+        "<4,2,4> (1 step)": MatmulKernel(algorithm="s424", steps=1,
+                                         min_dim=block, counting=True),
+    }
+
+    print(f"blocked LU and Cholesky, n={n}, panel width {block}")
+    print(f"{'kernel':>20} {'lu time':>9} {'lu err':>9} "
+          f"{'chol time':>10} {'chol err':>9} {'fast flops':>11}")
+    with blas.blas_threads(1):
+        for name, k in kernels.items():
+            fac, t_lu = timed(lambda: lu_factor(A, kernel=k, block=block))
+            L, t_ch = timed(lambda: cholesky(SPD, kernel=k, block=block))
+            frac = k.fast_fraction() if k.is_fast else 0.0
+            print(f"{name:>20} {t_lu:>9.3f} {lu_error(A, fac):>9.1e} "
+                  f"{t_ch:>10.3f} {cholesky_error(SPD, L):>9.1e} "
+                  f"{frac:>10.0%}")
+
+        # triangular inversion is ~100% kernel products: the best case
+        T = np.tril(rng.standard_normal((n, n))) + n * np.eye(n)
+        print("\ntriangular inverse (all flops are kernel products)")
+        for name, k in kernels.items():
+            Tinv, t = timed(lambda: invert_triangular(T, kernel=k,
+                                                      base_size=block))
+            resid = np.linalg.norm(T @ Tinv - np.eye(n)) / n
+            print(f"{name:>20} {t:>9.3f}s  residual {resid:.1e}")
+
+        # Newton-Schulz: error accumulation across repeated fast products
+        print("\nNewton-Schulz inverse iteration (two products per sweep)")
+        for name, k in kernels.items():
+            X, hist = newton_schulz(A, kernel=k)
+            err = np.linalg.norm(X - np.linalg.inv(A)) / np.linalg.norm(X)
+            print(f"{name:>20} sweeps={len(hist):>2} "
+                  f"final residual {hist[-1]:.1e}  vs-inv err {err:.1e}")
+
+    print("\nTakeaway: the further a driver's flops concentrate in big "
+          "gemm-shaped updates, the more of the fast algorithm's speedup "
+          "it inherits (trinv > lu > panel-bound small problems), at "
+          "rounding-level cost in backward error.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1200)

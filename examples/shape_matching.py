@@ -1,0 +1,54 @@
+"""Shape matching: the right fast algorithm depends on the problem shape.
+
+Run:  python examples/shape_matching.py
+
+Reproduces the headline finding of the paper's Section 5 (Figure 5): on
+square problems Strassen is hard to beat, but on rectangular problems the
+algorithms whose base case "matches the shape" win -- e.g. <4,2,4> on an
+outer-product-shaped N x K x N multiplication, and <4,3,3> on a
+tall-skinny N x K x K one.
+"""
+
+from repro.algorithms import get_algorithm
+from repro.bench.runner import run_sequential, winners_by_workload
+from repro.bench.workloads import outer, square, ts_square
+
+
+def main() -> None:
+    algorithms = {
+        "dgemm": None,
+        "strassen": get_algorithm("strassen"),
+        "s424": get_algorithm("s424"),   # outer-product-shaped base case
+        "s433": get_algorithm("s433"),   # tall-skinny-shaped base case
+        "s323": get_algorithm("s323"),
+    }
+
+    print("Square problems: Strassen's territory")
+    rows_sq = run_sequential(
+        algorithms, [square(1024), square(1536)], step_options=(1, 2),
+        trials=3, title="N x N x N",
+    )
+
+    print("\nOuter-product shape N x K x N: <4,2,4>-family territory")
+    rows_outer = run_sequential(
+        algorithms, [outer(1280, 416), outer(1792, 416)], step_options=(1, 2),
+        trials=3, title="N x 416 x N",
+    )
+
+    print("\nTall-skinny shape N x K x K: <4,3,3>-family territory")
+    rows_ts = run_sequential(
+        algorithms, [ts_square(2560, 624)], step_options=(1, 2),
+        trials=3, title="N x 624 x 624",
+    )
+
+    print("\nWinners by workload:")
+    for rows, label in [(rows_sq, "square"), (rows_outer, "outer"),
+                        (rows_ts, "tall-skinny")]:
+        for wl, winner in winners_by_workload(rows).items():
+            print(f"  {label:<12} {wl:<18} -> {winner}")
+    print("\nPaper's conclusion: pick the algorithm whose base case matches "
+          "the shape of your problem.")
+
+
+if __name__ == "__main__":
+    main()

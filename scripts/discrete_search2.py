@@ -1,0 +1,171 @@
+"""Sequential-freezing discrete search (the flow that cracked <3,3,3>:23).
+
+Instead of attracting all three factors at once (which drifts off the
+exact manifold), discretize them one at a time:
+
+1. from a converged exact (dense) solution, run ALS with attraction on U
+   *only* -- V and W stay free and compensate, so U can migrate to the grid
+   without losing exactness;
+2. hard-round U, freeze it, and re-solve V,W by plain alternating least
+   squares (biconvex; converges to an exact pair when rounded-U is
+   feasible);
+3. repeat the attraction/round/freeze for V (W still compensating);
+4. the final W solve is a linear problem: exact solution, then rounding
+   with verification.
+
+Usage: python scripts/discrete_search2.py s233 600
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import tensor as tz
+from repro.core.algorithm import FastAlgorithm
+from repro.search.als import AlsOptions, als
+from repro.search.sparsify import round_to_grid
+from repro.search.driver import SearchOutcome, save_outcome
+from repro.util.rng import spawn_rngs
+
+DATA = Path(__file__).resolve().parent.parent / "src/repro/algorithms/data"
+GRID = (0.0, 0.5, 1.0, 2.0)
+
+TARGETS = {
+    "s233": (2, 3, 3, 15),
+    "s234": (2, 3, 4, 20),
+    "s244": (2, 4, 4, 26),
+    "s334": (3, 3, 4, 29),
+    "s344": (3, 4, 4, 38),
+}
+
+
+def _solve(unf, A, B, reg=1e-12):
+    KR = tz.khatri_rao(A, B)
+    G = KR.T @ KR + reg * np.eye(KR.shape[1])
+    return np.linalg.solve(G, KR.T @ unf.T).T
+
+
+def _attract_one(T, which, U, V, W, sweeps=1200, aw0=2e-3, grid=GRID):
+    """ALS sweeps with discreteness attraction on a single factor."""
+    T0, T1, T2 = (tz.unfold(T, i) for i in range(3))
+    aw = aw0
+    for it in range(sweeps):
+        if it and it % 200 == 0:
+            aw = min(aw * 1.8, 8e-2)
+        # U update
+        KR = tz.khatri_rao(V, W)
+        G = KR.T @ KR
+        rhs = KR.T @ T0.T
+        if which == "U":
+            tgt = round_to_grid(U, grid)
+            U = np.linalg.solve(G + aw * np.eye(G.shape[0]),
+                                rhs + aw * tgt.T).T
+        else:
+            U = np.linalg.solve(G + 1e-12 * np.eye(G.shape[0]), rhs).T
+        # V update
+        KR = tz.khatri_rao(U, W)
+        G = KR.T @ KR
+        rhs = KR.T @ T1.T
+        if which == "V":
+            tgt = round_to_grid(V, grid)
+            V = np.linalg.solve(G + aw * np.eye(G.shape[0]),
+                                rhs + aw * tgt.T).T
+        else:
+            V = np.linalg.solve(G + 1e-12 * np.eye(G.shape[0]), rhs).T
+        # W update (never attracted here; solved last)
+        KR = tz.khatri_rao(U, V)
+        G = KR.T @ KR
+        rhs = KR.T @ T2.T
+        W = np.linalg.solve(G + 1e-12 * np.eye(G.shape[0]), rhs).T
+    return U, V, W
+
+
+def _alternate_fixed_U(T, U, V, W, sweeps=2500):
+    T1, T2 = tz.unfold(T, 1), tz.unfold(T, 2)
+    for _ in range(sweeps):
+        V = _solve(T1, U, W)
+        W = _solve(T2, U, V)
+    return V, W
+
+
+def try_one(T, R, U, V, W, grid=GRID):
+    """One pass of the sequential-freezing pipeline; returns triple or None."""
+    # stage 1: drive U to the grid, then freeze
+    U, V, W = _attract_one(T, "U", U, V, W)
+    Ur = round_to_grid(U, grid)
+    V, W = _alternate_fixed_U(T, Ur, V, W)
+    if tz.residual(T, Ur, V, W) > 1e-8:
+        return None
+    # stage 2: drive V to the grid with U frozen
+    T1, T2 = tz.unfold(T, 1), tz.unfold(T, 2)
+    aw = 2e-3
+    for it in range(2500):
+        if it and it % 250 == 0:
+            aw = min(aw * 1.8, 1e-1)
+        KR = tz.khatri_rao(Ur, W)
+        G = KR.T @ KR
+        V = np.linalg.solve(G + aw * np.eye(G.shape[0]),
+                            KR.T @ T1.T + aw * round_to_grid(V, grid).T).T
+        W = _solve(T2, Ur, V)
+    Vr = round_to_grid(V, grid)
+    W = _solve(T2, Ur, Vr)
+    if tz.residual(T, Ur, Vr, W) > 1e-8:
+        return None
+    # stage 3: W is now determined linearly; round with verification
+    Wr = round_to_grid(W, grid)
+    if tz.residual(T, Ur, Vr, Wr) <= 1e-9:
+        return Ur, Vr, Wr
+    # accept exact rational W even if off-grid
+    if tz.residual(T, Ur, Vr, W) <= 1e-9:
+        return Ur, Vr, W
+    return None
+
+
+def run(stem: str, deadline: float) -> None:
+    m, k, n, R = TARGETS[stem]
+    T = tz.matmul_tensor(m, k, n)
+    path = DATA / f"{stem}.json"
+    best_nnz = None
+    if path.exists():
+        d = json.loads(path.read_text())
+        cur = FastAlgorithm.from_dict(d)
+        if not cur.apa and d.get("discrete"):
+            best_nnz = sum(cur.nnz())
+
+    opts = AlsOptions(max_sweeps=1800)
+    polish = AlsOptions(max_sweeps=1200, attract=False, reg_init=1e-6,
+                        reg_final=1e-13, stall_sweeps=400)
+    t0 = time.time()
+    for i, g in enumerate(spawn_rngs(4000, seed=86 + R)):
+        if time.time() - t0 > deadline:
+            break
+        r1 = als(T, R, rng=g, options=opts)
+        if r1.rel_residual > 1e-2:
+            continue
+        r2 = als(T, R, rng=g, options=polish, init=(r1.U, r1.V, r1.W))
+        if r2.rel_residual > 1e-9:
+            continue
+        trip = try_one(T, R, r2.U, r2.V, r2.W)
+        if trip is None:
+            print(f"[{stem}] start {i}: exact but not discretized", flush=True)
+            continue
+        Ud, Vd, Wd = trip
+        rel = tz.residual(T, Ud, Vd, Wd)
+        nnz = sum(int(np.count_nonzero(x)) for x in trip)
+        print(f"[{stem}] start {i}: DISCRETE nnz={nnz} resid={rel:.1e}",
+              flush=True)
+        if best_nnz is None or nnz < best_nnz:
+            best_nnz = nnz
+            out = SearchOutcome(m, k, n, R, Ud, Vd, Wd, float(rel),
+                                exact=True, discrete=True,
+                                starts_used=i + 1, seed=86 + R)
+            save_outcome(out, path)
+            print(f"[{stem}] saved nnz={nnz}", flush=True)
+    print(f"[{stem}] done, best nnz={best_nnz}", flush=True)
+
+
+if __name__ == "__main__":
+    run(sys.argv[1], float(sys.argv[2]) if len(sys.argv) > 2 else 600.0)

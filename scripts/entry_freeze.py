@@ -1,0 +1,162 @@
+"""Entry-by-entry freezing discretization (third-generation discretizer).
+
+The all-at-once grid attraction (``discrete_search2.py``) cracked
+``<3,3,3>`` but plateaus on the dense ``<2,3,3>/<2,3,4>/<2,4,4>``
+solutions.  This script discretizes *one entry at a time*: from an exact
+dense solution, repeatedly pick the free U entry closest to the grid,
+freeze it to its rounded value, and re-solve all remaining free entries
+by masked alternating least squares (rows of U solve independent masked
+LS problems; V and W stay fully free and compensate).  When U is fully
+discrete, repeat for V; W is then determined by one linear solve.
+
+Greedy order + short re-polish makes each freeze a small perturbation,
+so the iterate never leaves the exact manifold unless the rounded value
+is infeasible — in which case we abort the start and try the next basin.
+
+Usage: python scripts/entry_freeze.py s233 1200
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import tensor as tz
+from repro.search.als import AlsOptions, als
+from repro.search.driver import SearchOutcome, save_outcome
+from repro.search.sparsify import normalize_columns, round_to_grid
+from repro.util.rng import spawn_rngs
+from scripts.discrete_search2 import DATA, TARGETS  # reuse target table
+
+GRID = (0.0, 0.5, 1.0, 2.0)
+
+
+def _grid_vals(grid=GRID):
+    return np.array(sorted({g for g in grid} | {-g for g in grid}))
+
+
+def _masked_row_solve(KR, rhs, frozen_vals, mask_row):
+    """LS-solve one factor row with ``mask_row`` entries pinned."""
+    free = ~mask_row
+    if not free.any():
+        return frozen_vals
+    resid = rhs - KR[:, mask_row] @ frozen_vals[mask_row]
+    sol, *_ = np.linalg.lstsq(KR[:, free], resid, rcond=None)
+    out = frozen_vals.copy()
+    out[free] = sol
+    return out
+
+
+def _polish(T, U, V, W, maskU, maskV, sweeps):
+    """ALS sweeps respecting the frozen masks on U and V (W always free)."""
+    T0, T1, T2 = (tz.unfold(T, i) for i in range(3))
+    for _ in range(sweeps):
+        KR = tz.khatri_rao(V, W)
+        for i in range(U.shape[0]):
+            U[i] = _masked_row_solve(KR, T0[i], U[i], maskU[i])
+        KR = tz.khatri_rao(U, W)
+        for j in range(V.shape[0]):
+            V[j] = _masked_row_solve(KR, T1[j], V[j], maskV[j])
+        KR = tz.khatri_rao(U, V)
+        W = np.linalg.lstsq(KR, T2.T, rcond=None)[0].T
+    return U, V, W
+
+
+def _freeze_factor(T, U, V, W, which, maskU, maskV,
+                   tol=1e-8, polish_sweeps=25, verbose=False):
+    """Freeze every entry of one factor; returns updated triple or None."""
+    F, mask = (U, maskU) if which == "U" else (V, maskV)
+    vals = _grid_vals()
+    while not mask.all():
+        # pick the free entry closest to the grid (ties: smallest |value|)
+        dist = np.abs(F[..., None] - vals).min(axis=-1)
+        dist[mask] = np.inf
+        i, j = np.unravel_index(int(np.argmin(dist)), F.shape)
+        F[i, j] = vals[int(np.argmin(np.abs(F[i, j] - vals)))]
+        mask[i, j] = True
+        U, V, W = _polish(T, U, V, W, maskU, maskV, polish_sweeps)
+        r = tz.residual(T, U, V, W)
+        if r > tol:
+            # one longer rescue polish before giving up on this start
+            U, V, W = _polish(T, U, V, W, maskU, maskV, 6 * polish_sweeps)
+            r = tz.residual(T, U, V, W)
+            if r > tol:
+                if verbose:
+                    done = int(mask.sum())
+                    print(f"    {which}[{i},{j}] infeasible at "
+                          f"{done}/{mask.size} (resid {r:.1e})", flush=True)
+                return None
+    return U, V, W
+
+
+def try_one(T, U, V, W, verbose=False):
+    U, V, W = normalize_columns(U, V, W)
+    U, V, W = (np.array(x) for x in (U, V, W))
+    maskU = np.zeros(U.shape, bool)
+    maskV = np.zeros(V.shape, bool)
+    got = _freeze_factor(T, U, V, W, "U", maskU, maskV, verbose=verbose)
+    if got is None:
+        return None
+    U, V, W = got
+    got = _freeze_factor(T, U, V, W, "V", maskU, maskV, verbose=verbose)
+    if got is None:
+        return None
+    U, V, W = got
+    # W is linear now: solve exactly, then try rounding it too
+    KR = tz.khatri_rao(U, V)
+    W = np.linalg.lstsq(KR, tz.unfold(T, 2).T, rcond=None)[0].T
+    Wr = round_to_grid(W, GRID)
+    if tz.residual(T, U, V, Wr) <= 1e-9:
+        return U, V, Wr
+    if tz.residual(T, U, V, W) <= 1e-9:
+        return U, V, W
+    return None
+
+
+def run(stem: str, deadline: float, seed_base: int = 4242) -> None:
+    m, k, n, R = TARGETS[stem]
+    T = tz.matmul_tensor(m, k, n)
+    path = DATA / f"{stem}.json"
+    import json
+
+    best_nnz = None
+    if path.exists():
+        d = json.loads(path.read_text())
+        if d.get("discrete"):
+            best_nnz = sum(int(np.count_nonzero(np.array(d[key])))
+                           for key in "UVW")
+
+    opts = AlsOptions(max_sweeps=1800)
+    polish = AlsOptions(max_sweeps=1200, attract=False, reg_init=1e-6,
+                        reg_final=1e-13, stall_sweeps=400)
+    t0 = time.time()
+    for i, g in enumerate(spawn_rngs(4000, seed=seed_base + R)):
+        if time.time() - t0 > deadline:
+            break
+        r1 = als(T, R, rng=g, options=opts)
+        if r1.rel_residual > 1e-2:
+            continue
+        r2 = als(T, R, rng=g, options=polish, init=(r1.U, r1.V, r1.W))
+        if r2.rel_residual > 1e-9:
+            continue
+        trip = try_one(T, r2.U, r2.V, r2.W, verbose=True)
+        if trip is None:
+            print(f"[{stem}] start {i}: exact, freeze failed", flush=True)
+            continue
+        Ud, Vd, Wd = trip
+        rel = tz.residual(T, Ud, Vd, Wd)
+        nnz = sum(int(np.count_nonzero(x)) for x in trip)
+        print(f"[{stem}] start {i}: DISCRETE nnz={nnz} resid={rel:.1e}",
+              flush=True)
+        if best_nnz is None or nnz < best_nnz:
+            best_nnz = nnz
+            out = SearchOutcome(m, k, n, R, Ud, Vd, Wd, float(rel),
+                                exact=True, discrete=True,
+                                starts_used=i + 1, seed=seed_base + R)
+            save_outcome(out, path)
+            print(f"[{stem}] saved nnz={nnz}", flush=True)
+    print(f"[{stem}] done, best nnz={best_nnz}", flush=True)
+
+
+if __name__ == "__main__":
+    run(sys.argv[1], float(sys.argv[2]) if len(sys.argv) > 2 else 600.0)

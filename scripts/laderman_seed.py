@@ -1,0 +1,141 @@
+"""Build a candidate Laderman-style <3,3,3> rank-23 decomposition and repair
+it with ALS + discretization.
+
+The product/combination structure below is a from-memory transcription of
+Laderman's 1976 algorithm; one or two bracket terms may be misremembered.
+We verify against the exact tensor; if the residual is nonzero but small in
+structure, ALS initialized here converges to an exact solution, which
+``discretize`` then snaps to integers and verifies.  The verified result is
+what ships in ``repro/algorithms/data/s333.json``.
+"""
+
+import numpy as np
+
+from repro.core import tensor as tz
+from repro.search.als import AlsOptions, als
+from repro.search.sparsify import discretize
+from repro.search.driver import SearchOutcome, save_outcome
+
+
+def idx(i, j, ncols=3):
+    return (i - 1) * ncols + (j - 1)
+
+
+def col(terms, size):
+    c = np.zeros(size)
+    for coef, (i, j) in terms:
+        c[idx(i, j)] = coef
+    return c
+
+
+A = lambda *t: t  # noqa: E731
+
+
+def build():
+    # products: (A-terms, B-terms)
+    prods = [
+        # m1
+        ([(1, (1, 1)), (1, (1, 2)), (1, (1, 3)), (-1, (2, 1)), (-1, (2, 2)),
+          (-1, (3, 2)), (-1, (3, 3))], [(1, (2, 2))]),
+        # m2
+        ([(1, (1, 1)), (-1, (2, 1))], [(-1, (1, 2)), (1, (2, 2))]),
+        # m3
+        ([(1, (2, 2))], [(-1, (1, 1)), (1, (2, 1)), (1, (2, 2)), (-1, (2, 3)),
+                         (-1, (3, 1)), (1, (3, 3))]),
+        # m4
+        ([(-1, (1, 1)), (1, (2, 1)), (1, (2, 2))],
+         [(1, (1, 1)), (-1, (1, 2)), (1, (2, 2))]),
+        # m5
+        ([(1, (2, 1)), (1, (2, 2))], [(-1, (1, 1)), (1, (1, 2))]),
+        # m6
+        ([(1, (1, 1))], [(1, (1, 1))]),
+        # m7
+        ([(-1, (1, 1)), (1, (3, 1)), (1, (3, 2))],
+         [(1, (1, 1)), (-1, (1, 3)), (1, (2, 3))]),
+        # m8
+        ([(-1, (1, 1)), (1, (3, 1))], [(1, (1, 3)), (-1, (2, 3))]),
+        # m9
+        ([(1, (3, 1)), (1, (3, 2))], [(-1, (1, 1)), (1, (1, 3))]),
+        # m10
+        ([(1, (1, 1)), (1, (1, 2)), (1, (1, 3)), (-1, (2, 2)), (-1, (2, 3)),
+          (-1, (3, 1)), (-1, (3, 2))], [(1, (2, 3))]),
+        # m11
+        ([(1, (3, 2))], [(-1, (1, 1)), (1, (2, 1)), (1, (2, 3)), (-1, (2, 2)),
+                         (-1, (3, 1)), (1, (3, 2))]),
+        # m12
+        ([(-1, (1, 3)), (1, (3, 2)), (1, (3, 3))],
+         [(1, (2, 2)), (1, (3, 1)), (-1, (3, 2))]),
+        # m13
+        ([(1, (1, 3)), (-1, (3, 3))], [(1, (2, 2)), (-1, (3, 2))]),
+        # m14
+        ([(1, (1, 3))], [(1, (3, 1))]),
+        # m15
+        ([(1, (3, 2)), (1, (3, 3))], [(-1, (3, 1)), (1, (3, 2))]),
+        # m16
+        ([(-1, (1, 3)), (1, (2, 2)), (1, (2, 3))],
+         [(1, (2, 3)), (1, (3, 1)), (-1, (3, 3))]),
+        # m17
+        ([(1, (1, 3)), (-1, (2, 3))], [(1, (2, 3)), (-1, (3, 3))]),
+        # m18
+        ([(1, (2, 2)), (1, (2, 3))], [(-1, (3, 1)), (1, (3, 3))]),
+        # m19
+        ([(1, (1, 2))], [(1, (2, 1))]),
+        # m20
+        ([(1, (2, 3))], [(1, (3, 2))]),
+        # m21
+        ([(1, (2, 1))], [(1, (1, 3))]),
+        # m22
+        ([(1, (3, 1))], [(1, (1, 2))]),
+        # m23
+        ([(1, (3, 3))], [(1, (3, 3))]),
+    ]
+    combos = {
+        (1, 1): [6, 14, 19],
+        (1, 2): [1, 4, 5, 6, 12, 14, 15],
+        (1, 3): [6, 7, 9, 10, 12, 14, 16, 18],
+        (2, 1): [2, 3, 4, 6, 14, 16, 17],
+        (2, 2): [2, 4, 5, 6, 14, 16, 17, 18],
+        (2, 3): [14, 16, 17, 18, 21],
+        (3, 1): [6, 7, 8, 11, 12, 13, 14],
+        (3, 2): [12, 13, 14, 15, 22],
+        (3, 3): [6, 7, 8, 9, 14, 23],
+    }
+    U = np.zeros((9, 23))
+    V = np.zeros((9, 23))
+    W = np.zeros((9, 23))
+    for r, (at, bt) in enumerate(prods):
+        U[:, r] = col(at, 9)
+        V[:, r] = col(bt, 9)
+    for (i, j), ms in combos.items():
+        for mnum in ms:
+            W[idx(i, j), mnum - 1] = 1.0
+    return U, V, W
+
+
+def main():
+    T = tz.matmul_tensor(3, 3, 3)
+    U, V, W = build()
+    r0 = tz.residual(T, U, V, W)
+    print(f"seed residual: {r0:.3e}  (0 would mean perfect recall)")
+    if r0 > 1e-9:
+        opts = AlsOptions(max_sweeps=6000, attract=False, reg_init=1e-4,
+                          reg_final=1e-14, stall_sweeps=3000, stall_rtol=1e-7)
+        res = als(T, 23, init=(U, V, W), options=opts)
+        print(f"after ALS repair: rel={res.rel_residual:.3e} sweeps={res.sweeps}")
+        U, V, W = res.U, res.V, res.W
+    trip = discretize(T, U, V, W, grid=(0.0, 0.5, 1.0, 2.0))
+    if trip is None:
+        print("discretization failed")
+        return 1
+    Ud, Vd, Wd = trip
+    rel = tz.residual(T, Ud, Vd, Wd)
+    print(f"discrete residual: {rel:.3e}")
+    out = SearchOutcome(3, 3, 3, 23, Ud, Vd, Wd, rel, exact=rel < 1e-9,
+                        discrete=True, starts_used=1, seed=-1)
+    save_outcome(out, "src/repro/algorithms/data/s333.json")
+    print("saved src/repro/algorithms/data/s333.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

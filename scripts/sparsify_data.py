@@ -1,0 +1,82 @@
+"""Post-process searched coefficient files toward sparse discrete solutions.
+
+For each data JSON: starting from the stored exact-but-dense factors, run
+attraction-annealed ALS (pulling entries toward a small grid), then round
+and exact-repair.  Overwrite the file only when the result is exact and
+sparser than what is stored.  This is the Prop.-2.3 + regularization
+"hands-on tinkering" step the paper describes for recovering discrete
+algorithms.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import tensor as tz
+from repro.core.algorithm import FastAlgorithm
+from repro.search.als import AlsOptions, als
+from repro.search.sparsify import discretize
+from repro.search.driver import SearchOutcome, save_outcome
+
+DATA = Path(__file__).resolve().parent.parent / "src/repro/algorithms/data"
+GRID = (0.0, 0.5, 1.0, 2.0)
+
+
+def try_sparsify(path: Path) -> None:
+    d = json.loads(path.read_text())
+    if d.get("apa"):
+        return
+    alg = FastAlgorithm.from_dict(d)
+    m, k, n = alg.base_case
+    T = tz.matmul_tensor(m, k, n)
+    nnz0 = sum(alg.nnz())
+    best = None
+    for aw0, seed in ((2e-3, 0), (5e-3, 1), (1e-2, 2), (2e-3, 3)):
+        U, V, W = np.array(alg.U), np.array(alg.V), np.array(alg.W)
+        if seed >= 2:  # jitter to escape the current sheet of the manifold
+            g = np.random.default_rng(seed)
+            U = U + 0.02 * g.standard_normal(U.shape)
+        aw = aw0
+        for phase in range(6):
+            opts = AlsOptions(
+                max_sweeps=600, attract=True, attract_start=0,
+                attract_weight=aw, attract_grid=GRID,
+                reg_init=1e-8, reg_final=1e-12, stall_sweeps=10**9,
+            )
+            res = als(T, alg.rank, options=opts, init=(U, V, W))
+            U, V, W = res.U, res.V, res.W
+            trip = discretize(T, U, V, W, grid=GRID)
+            if trip is not None:
+                nnz = sum(int(np.count_nonzero(x)) for x in trip)
+                if best is None or nnz < best[0]:
+                    best = (nnz, trip)
+                break
+            aw = min(aw * 2.5, 5e-2)
+    if best is None:
+        print(f"{path.name}: no discrete solution found (keeping float)")
+        return
+    nnz, (Ud, Vd, Wd) = best
+    rel = tz.residual(T, Ud, Vd, Wd)
+    print(f"{path.name}: discrete nnz {nnz0} -> {nnz}, resid {rel:.2e}")
+    if rel < 1e-9:
+        out = SearchOutcome(m, k, n, alg.rank, Ud, Vd, Wd, float(rel),
+                            exact=True, discrete=True,
+                            starts_used=d.get("starts_used", 0),
+                            seed=d.get("seed", 0))
+        save_outcome(out, path)
+        print(f"  saved {path.name}")
+
+
+def main() -> int:
+    targets = sys.argv[1:] or ["s233", "s234", "s244", "s334", "s344", "s336"]
+    for stem in targets:
+        p = DATA / f"{stem}.json"
+        if p.exists():
+            try_sparsify(p)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

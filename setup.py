@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works in offline environments without the
+`wheel` package (legacy setuptools editable install)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro: a practical parallel fast matrix multiplication framework.
+
+Python reproduction of Benson & Ballard, *A Framework for Practical
+Parallel Fast Matrix Multiplication* (PPoPP 2015).  The package provides
+
+- a catalog of fast algorithms as low-rank tensor decompositions
+  (``repro.algorithms``), including Strassen, Strassen-Winograd,
+  Hopcroft-Kerr-rank <2,2,n> algorithms and ALS-discovered algorithms at
+  the paper's ranks (<2,3,3>:15, <2,3,4>:20, <2,4,4>:26, <3,3,3>:23, ...);
+- the numerical search used to find them (``repro.search``);
+- a code generator emitting specialized multiply routines with three
+  matrix-addition strategies and optional CSE (``repro.codegen``);
+- shared-memory parallel schemes DFS / BFS / HYBRID (``repro.parallel``);
+- a benchmark harness regenerating every figure and table of the paper's
+  evaluation (``repro.bench`` + the repository's ``benchmarks/``).
+
+Quick start::
+
+    import numpy as np, repro
+    A = np.random.rand(1000, 1000)
+    B = np.random.rand(1000, 1000)
+    C = repro.multiply(A, B, algorithm="strassen", steps=2)
+    np.allclose(C, A @ B)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import by_base_case, classical, get_algorithm, strassen, table2, winograd
+from repro.bench.metrics import effective_gflops
+from repro.codegen import compile_algorithm, generate_source
+from repro.core import EXACT_TOL, FastAlgorithm, matmul_tensor
+from repro.core.recursion import CutoffPolicy, multiply_schedule
+from repro.core.recursion import multiply as multiply_reference
+from repro.parallel import WorkerPool, available_cores, multiply_parallel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FastAlgorithm",
+    "EXACT_TOL",
+    "matmul_tensor",
+    "get_algorithm",
+    "by_base_case",
+    "table2",
+    "strassen",
+    "winograd",
+    "classical",
+    "multiply",
+    "multiply_reference",
+    "multiply_parallel",
+    "multiply_schedule",
+    "CutoffPolicy",
+    "compile_algorithm",
+    "generate_source",
+    "WorkerPool",
+    "available_cores",
+    "effective_gflops",
+    "__version__",
+]
+
+
+def multiply(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm: str | FastAlgorithm = "strassen",
+    steps: int = 1,
+    strategy: str = "write_once",
+    cse: bool = False,
+    parallel: bool = False,
+    scheme: str = "hybrid",
+    threads: int | None = None,
+) -> np.ndarray:
+    """Multiply ``A @ B`` with a fast algorithm (the one-call public API).
+
+    Parameters mirror the paper's tuning space: the algorithm (by registry
+    name or as a ``FastAlgorithm``), the recursion depth ``steps``, the
+    matrix-addition ``strategy`` (``write_once`` is the paper's default
+    winner), optional ``cse``, and -- when ``parallel`` -- the scheduling
+    ``scheme`` (``dfs`` / ``bfs`` / ``hybrid``) and thread count.
+    """
+    alg = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    if parallel:
+        return multiply_parallel(A, B, alg, steps=steps, scheme=scheme, threads=threads)
+    return compile_algorithm(alg, strategy=strategy, cse=cse)(A, B, steps=steps)
+
+
+def __getattr__(name: str):
+    """Lazy subpackage access (PEP 562): ``repro.linalg`` pulls in SciPy
+    and ``repro.distributed``/``repro.search``/``repro.cli`` are niche, so
+    none of them should tax ``import repro``."""
+    if name in ("linalg", "distributed", "search", "cli"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Algorithm catalog: literal, searched and composed fast algorithms."""
+
+from repro.algorithms.catalog import (
+    CatalogEntry,
+    PAPER_TABLE2,
+    by_base_case,
+    get_algorithm,
+    list_algorithms,
+    table2,
+)
+from repro.algorithms.classical import classical
+from repro.algorithms.strassen import strassen, winograd
+
+__all__ = [
+    "CatalogEntry",
+    "PAPER_TABLE2",
+    "by_base_case",
+    "get_algorithm",
+    "list_algorithms",
+    "table2",
+    "classical",
+    "strassen",
+    "winograd",
+]

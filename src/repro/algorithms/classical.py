@@ -1,0 +1,29 @@
+"""The classical (rank ``m*k*n``) algorithm for any base case.
+
+One rank-one term per scalar product ``a_{ij} * b_{jl} -> c_{il}``.  Used
+as the trivial building block in compositions (direct sums, Kronecker
+products) and as the reference baseline everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+
+
+def classical(m: int, k: int, n: int) -> FastAlgorithm:
+    """Exact <m,k,n> algorithm with the full ``m*k*n`` multiplications."""
+    R = m * k * n
+    U = np.zeros((m * k, R))
+    V = np.zeros((k * n, R))
+    W = np.zeros((m * n, R))
+    r = 0
+    for i in range(m):
+        for j in range(k):
+            for l in range(n):
+                U[i * k + j, r] = 1.0
+                V[j * n + l, r] = 1.0
+                W[i * n + l, r] = 1.0
+                r += 1
+    return FastAlgorithm(m, k, n, U, V, W, name=f"classical{m}{k}{n}")

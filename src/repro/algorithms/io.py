@@ -1,0 +1,118 @@
+"""Interop with the original fast-matmul coefficient text format.
+
+Benson & Ballard's released code (github.com/arbenson/fast-matmul) stores
+algorithms as plain-text files: a header line ``M,K,N,R`` followed by the
+three factor matrices row by row, blank-line separated, entries
+whitespace-separated (rationals like ``1/2`` allowed; APA files use the
+symbol ``x`` for lambda -- we substitute a concrete value on read).
+
+This lets coefficient files travel in both directions between this
+reproduction and the authors' repository.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+
+
+def _parse_entry(tok: str, lam: float) -> float:
+    """Entry grammar: rational numbers plus the APA placeholder ``x``."""
+    tok = tok.strip()
+    if not tok:
+        raise ValueError("empty coefficient token")
+    if "x" in tok:
+        # forms like 'x', '-x', '1/x', '-1/x', '2x'
+        neg = tok.startswith("-")
+        body = tok.lstrip("+-")
+        if body == "x":
+            val = lam
+        elif body.endswith("/x"):
+            num = body[:-2] or "1"
+            val = float(Fraction(num)) / lam
+        elif body.endswith("x"):
+            coef = body[:-1] or "1"
+            val = float(Fraction(coef)) * lam
+        else:
+            raise ValueError(f"cannot parse APA coefficient {tok!r}")
+        return -val if neg else val
+    return float(Fraction(tok))
+
+
+def _format_entry(x: float, max_den: int = 64) -> str:
+    frac = Fraction(x).limit_denominator(max_den)
+    if abs(float(frac) - x) < 1e-12:
+        return str(frac)
+    return repr(x)
+
+
+def read_fast_matmul(path: str | Path, lam: float = 1e-4,
+                     name: str | None = None) -> FastAlgorithm:
+    """Read a fast-matmul text file into a :class:`FastAlgorithm`.
+
+    ``lam`` is substituted for the APA placeholder ``x`` when present; the
+    result is marked ``apa`` automatically if its residual is nonzero.
+    """
+    text = Path(path).read_text()
+    lines = [ln for ln in (l.split("#")[0].strip() for l in text.splitlines())]
+    # drop leading blanks
+    while lines and not lines[0]:
+        lines.pop(0)
+    if not lines:
+        raise ValueError(f"{path}: empty file")
+    header = lines.pop(0).replace(",", " ").split()
+    if len(header) != 4:
+        raise ValueError(f"{path}: header must be 'M,K,N,R', got {header}")
+    m, k, n, R = (int(t) for t in header)
+
+    blocks: list[list[list[float]]] = []
+    cur: list[list[float]] = []
+    for ln in lines:
+        if not ln:
+            if cur:
+                blocks.append(cur)
+                cur = []
+            continue
+        cur.append([_parse_entry(t, lam) for t in ln.split()])
+    if cur:
+        blocks.append(cur)
+    if len(blocks) != 3:
+        raise ValueError(f"{path}: expected 3 factor blocks, got {len(blocks)}")
+    U, V, W = (np.array(b, dtype=float) for b in blocks)
+    for mat, rows, label in ((U, m * k, "U"), (V, k * n, "V"), (W, m * n, "W")):
+        if mat.shape != (rows, R):
+            raise ValueError(
+                f"{path}: {label} has shape {mat.shape}, expected {(rows, R)}"
+            )
+    alg = FastAlgorithm(m, k, n, U, V, W,
+                        name=name or Path(path).stem, apa=True)
+    if alg.check_exact():
+        alg = FastAlgorithm(m, k, n, U, V, W,
+                            name=name or Path(path).stem, apa=False)
+    return alg
+
+
+def write_fast_matmul(alg: FastAlgorithm, path: str | Path) -> None:
+    """Write an algorithm in the fast-matmul text format (exact entries as
+    small rationals where possible)."""
+    out = [f"{alg.m},{alg.k},{alg.n},{alg.rank}"]
+    for mat in (alg.U, alg.V, alg.W):
+        out.append("")
+        for row in mat:
+            out.append(" ".join(_format_entry(float(x)) for x in row))
+    Path(path).write_text("\n".join(out) + "\n")
+
+
+def roundtrip_equal(a: FastAlgorithm, b: FastAlgorithm, tol: float = 1e-9) -> bool:
+    """True when two algorithms have identical factors up to ``tol``."""
+    return (
+        a.base_case == b.base_case
+        and a.rank == b.rank
+        and bool(np.allclose(a.U, b.U, atol=tol))
+        and bool(np.allclose(a.V, b.V, atol=tol))
+        and bool(np.allclose(a.W, b.W, atol=tol))
+    )

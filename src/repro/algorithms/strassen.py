@@ -1,0 +1,97 @@
+"""Strassen's algorithm and the Strassen-Winograd variant as [[U,V,W]].
+
+The Strassen factor matrices are transcribed verbatim from Section 2.2.2 of
+the paper.  The Winograd variant performs the same 7 multiplications but
+only 15 additions once its shared intermediates are reused -- our CSE pass
+(Section 3.3) rediscovers that reuse from the raw factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+
+
+def strassen() -> FastAlgorithm:
+    """Strassen's <2,2,2> algorithm, rank 7 (paper Section 2.2.2).
+
+    Notes on W relative to the paper's display: (1) the printed W lists the
+    c21 combination (M2+M4) in row 2 and c12 (M3+M5) in row 3 -- column-major
+    ordering for vec(C) -- while the rest of the paper uses row-major
+    vectorization, so we swap those rows; (2) the printed row for c22 reads
+    ``m1 - m2 + m3 + m4`` but the algorithm text in Section 2.1 (and
+    Strassen's original paper) has ``C22 = M1 - M2 + M3 + M6``, which is
+    what we encode.  Exactness is enforced by ``FastAlgorithm.validate``.
+    """
+    U = np.array(
+        [
+            [1, 0, 1, 0, 1, -1, 0],
+            [0, 0, 0, 0, 1, 0, 1],
+            [0, 1, 0, 0, 0, 1, 0],
+            [1, 1, 0, 1, 0, 0, -1],
+        ],
+        dtype=float,
+    )
+    V = np.array(
+        [
+            [1, 1, 0, -1, 0, 1, 0],
+            [0, 0, 1, 0, 0, 1, 0],
+            [0, 0, 0, 1, 0, 0, 1],
+            [1, 0, -1, 0, 1, 0, 1],
+        ],
+        dtype=float,
+    )
+    W = np.array(
+        [
+            [1, 0, 0, 1, -1, 0, 1],   # c11 = m1 + m4 - m5 + m7
+            [0, 0, 1, 0, 1, 0, 0],    # c12 = m3 + m5
+            [0, 1, 0, 1, 0, 0, 0],    # c21 = m2 + m4
+            [1, -1, 1, 0, 0, 1, 0],   # c22 = m1 - m2 + m3 + m6
+        ],
+        dtype=float,
+    )
+    return FastAlgorithm(2, 2, 2, U, V, W, name="strassen")
+
+
+def winograd() -> FastAlgorithm:
+    """Strassen-Winograd <2,2,2>: 7 multiplications, additive complexity 15.
+
+    Products (blocks of A row-major a11,a12,a21,a22; B likewise):
+
+        M1 = a11 * b11                 M5 = (a21+a22) * (b12-b11)
+        M2 = a12 * b21                 M6 = (a21+a22-a11) * (b11-b12+b22)
+        M3 = (a11+a12-a21-a22) * b22   M7 = (a11-a21) * (b22-b12)
+        M4 = a22 * (b11-b12-b21+b22)   [sign convention below]
+
+        C11 = M1+M2, C12 = M1+M3+M5+M6, C21 = M1-M4+M6+M7, C22 = M1+M5+M6+M7
+    """
+    # columns: M1..M7
+    U = np.array(
+        [
+            [1, 0, 1, 0, 0, -1, 1],
+            [0, 1, 1, 0, 0, 0, 0],
+            [0, 0, -1, 0, 1, 1, -1],
+            [0, 0, -1, 1, 1, 1, 0],
+        ],
+        dtype=float,
+    )
+    V = np.array(
+        [
+            [1, 0, 0, 1, -1, 1, 0],
+            [0, 0, 0, -1, 1, -1, -1],
+            [0, 1, 0, -1, 0, 0, 0],
+            [0, 0, 1, 1, 0, 1, 1],
+        ],
+        dtype=float,
+    )
+    W = np.array(
+        [
+            [1, 1, 0, 0, 0, 0, 0],
+            [1, 0, 1, 0, 1, 1, 0],
+            [1, 0, 0, -1, 0, 1, 1],
+            [1, 0, 0, 0, 1, 1, 1],
+        ],
+        dtype=float,
+    )
+    return FastAlgorithm(2, 2, 2, U, V, W, name="winograd")

@@ -1,0 +1,34 @@
+"""Benchmark harness: metrics (Eq. 3), machine model (Fig. 3 / Sec 3.4),
+workload generators (Sec 5) and experiment runners for every figure/table."""
+
+from repro.bench.metrics import effective_flops, effective_gflops, median_time, time_multiply
+from repro.bench.machine import GemmCurve, measure_gemm_curve, recommended_steps, should_recurse
+from repro.bench.runner import (
+    ResultRow,
+    check_accuracy,
+    print_table,
+    run_parallel,
+    run_sequential,
+    speedup_over,
+    winners_by_workload,
+)
+from repro.bench import workloads
+
+__all__ = [
+    "effective_flops",
+    "effective_gflops",
+    "median_time",
+    "time_multiply",
+    "GemmCurve",
+    "measure_gemm_curve",
+    "recommended_steps",
+    "should_recurse",
+    "ResultRow",
+    "check_accuracy",
+    "print_table",
+    "run_parallel",
+    "run_sequential",
+    "speedup_over",
+    "winners_by_workload",
+    "workloads",
+]

@@ -1,0 +1,123 @@
+"""Machine model: dgemm ramp-up curves and the recursion-cutoff rule.
+
+Figure 3 of the paper measures MKL dgemm for three problem shapes in serial
+and in parallel, observes a "ramp-up" phase that flattens near N ~= 1500
+(serial) / N ~= 5000 (24 threads), and derives the cutoff principle of
+Section 3.4: *take a recursive step only if the subproblems still land on
+the flat part of the curve* -- more precisely, if the relative performance
+drop from the current size to the subproblem size exceeds the algorithm's
+speedup per step, recursion cannot pay.
+
+``GemmCurve`` is the measured object; ``should_recurse`` applies the rule;
+``recommended_steps`` turns it into the step count used by benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.bench.metrics import effective_gflops, median_time
+from repro.parallel import blas
+from repro.util.matrices import random_matrix
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmCurve:
+    """Measured dgemm performance over a size sweep for one shape family.
+
+    ``sizes`` are the varying dimension N; ``gflops`` the measured rate.
+    Interpolation is linear, clamped at the ends.
+    """
+
+    sizes: list[int]
+    gflops: list[float]
+    threads: int = 1
+    shape: str = "square"
+
+    def at(self, n: int) -> float:
+        return float(np.interp(n, self.sizes, self.gflops))
+
+    @property
+    def peak(self) -> float:
+        return max(self.gflops)
+
+    def flat_size(self, fraction: float = 0.9) -> int:
+        """Smallest measured N reaching ``fraction`` of peak -- the start of
+        the flat part of the ramp-up curve."""
+        target = fraction * self.peak
+        for n, g in zip(self.sizes, self.gflops):
+            if g >= target:
+                return n
+        return self.sizes[-1]
+
+
+def measure_gemm_curve(
+    sizes: list[int],
+    threads: int = 1,
+    shape: str = "square",
+    fixed: int | None = None,
+    trials: int = 3,
+) -> GemmCurve:
+    """Measure the vendor gemm over a size sweep (Figure 3).
+
+    ``shape``: ``square`` (N x N x N), ``outer`` (N x fixed x N) or
+    ``ts`` (N x fixed x fixed).
+    """
+    gf = []
+    with blas.blas_threads(threads):
+        for n in sizes:
+            if shape == "square":
+                p, q, r = n, n, n
+            elif shape == "outer":
+                p, q, r = n, fixed, n
+            elif shape == "ts":
+                p, q, r = n, fixed, fixed
+            else:
+                raise ValueError(f"unknown shape {shape!r}")
+            A = random_matrix(p, q, 0)
+            B = random_matrix(q, r, 1)
+            sec = median_time(lambda: A @ B, trials=trials, warmup=1)
+            gf.append(effective_gflops(p, q, r, sec))
+    return GemmCurve(list(sizes), gf, threads=threads, shape=shape)
+
+
+def should_recurse(
+    curve: GemmCurve,
+    n: int,
+    split: int,
+    speedup_per_step: float,
+) -> bool:
+    """Section 3.4 rule.
+
+    Taking a step turns a size-``n`` leaf into size-``n // split`` leaves.
+    If the gemm rate drops by a larger ratio than the multiplication
+    speedup gained, the step cannot pay.  (The converse is not guaranteed
+    -- addition overhead may still eat the gain -- which is why benchmarks
+    take the best over 1..3 steps, like the paper.)
+    """
+    here = curve.at(n)
+    there = curve.at(max(1, n // split))
+    if there <= 0.0:
+        return False
+    drop = here / there - 1.0
+    return drop < speedup_per_step
+
+
+def recommended_steps(
+    curve: GemmCurve,
+    n: int,
+    split: int,
+    speedup_per_step: float,
+    max_steps: int = 3,
+) -> int:
+    """Apply :func:`should_recurse` greedily down the recursion."""
+    steps = 0
+    size = n
+    while steps < max_steps and size >= split and should_recurse(
+        curve, size, split, speedup_per_step
+    ):
+        steps += 1
+        size //= split
+    return steps

@@ -1,0 +1,54 @@
+"""Timing and the effective-GFLOPS metric (paper Equation 3).
+
+All timings are the *median of five trials* exactly as in Section 5, and
+all performance numbers are "effective GFLOPS":
+
+    effective GFLOPS = (2 P Q R - P R) / time_in_seconds * 1e-9
+
+which is true GFLOPS for the classical algorithm and an inverse-time scale
+normalized by problem size for the fast ones (they do fewer flops).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+
+def effective_flops(p: int, q: int, r: int) -> int:
+    """Numerator of Equation 3 for a ``p x q`` times ``q x r`` product."""
+    return 2 * p * q * r - p * r
+
+
+def effective_gflops(p: int, q: int, r: int, seconds: float) -> float:
+    """Equation 3."""
+    return effective_flops(p, q, r) / seconds * 1e-9
+
+
+def median_time(fn: Callable[[], object], trials: int = 5,
+                warmup: int = 1) -> float:
+    """Median wall time of ``trials`` runs after ``warmup`` untimed runs."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def time_multiply(
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    A: np.ndarray,
+    B: np.ndarray,
+    trials: int = 5,
+    warmup: int = 1,
+) -> tuple[float, float]:
+    """(median seconds, effective GFLOPS) for one multiply callable."""
+    p, q = A.shape
+    r = B.shape[1]
+    sec = median_time(lambda: multiply(A, B), trials=trials, warmup=warmup)
+    return sec, effective_gflops(p, q, r, sec)

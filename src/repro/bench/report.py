@@ -1,0 +1,122 @@
+"""Rendering benchmark results: series tables, ASCII plots, CSV export.
+
+The paper presents its evaluation as line plots of effective GFLOPS vs N.
+On a terminal we render the same series as aligned tables plus a coarse
+ASCII chart, and export CSV so the figures can be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.bench.runner import ResultRow
+
+
+@dataclasses.dataclass
+class Series:
+    """One plot line: algorithm name + (x, y) points."""
+
+    name: str
+    xs: list[float]
+    ys: list[float]
+
+    def __post_init__(self):
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+
+
+def rows_to_series(rows: Iterable[ResultRow]) -> list[Series]:
+    """Group result rows into per-algorithm series over N."""
+    by_alg: dict[str, list[tuple[float, float]]] = {}
+    for r in rows:
+        by_alg.setdefault(r.algorithm, []).append((float(r.n), r.gflops))
+    out = []
+    for name, pts in by_alg.items():
+        pts.sort()
+        out.append(Series(name, [p[0] for p in pts], [p[1] for p in pts]))
+    return out
+
+
+def ascii_plot(series: list[Series], width: int = 64, height: int = 16,
+               title: str = "", ylabel: str = "eff. GFLOPS") -> str:
+    """Coarse ASCII line chart of several series (paper-figure stand-in)."""
+    if not series or not any(s.xs for s in series):
+        return "(no data)"
+    all_x = [x for s in series for x in s.xs]
+    all_y = [y for s in series for y in s.ys]
+    x0, x1 = min(all_x), max(all_x)
+    y0, y1 = min(all_y), max(all_y)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#%@&$"
+    for si, s in enumerate(series):
+        ch = marks[si % len(marks)]
+        for x, y in zip(s.xs, s.ys):
+            col = int((x - x0) / (x1 - x0) * (width - 1))
+            row = int((y - y0) / (y1 - y0) * (height - 1))
+            grid[height - 1 - row][col] = ch
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y1:10.1f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y0:10.1f} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{x0:<10.0f}{'N':^{width - 20}}{x1:>10.0f}")
+    legend = "  ".join(f"{marks[i % len(marks)]}={s.name}"
+                       for i, s in enumerate(series))
+    lines.append(" " * 12 + legend)
+    lines.append(" " * 12 + f"(y: {ylabel})")
+    return "\n".join(lines)
+
+
+def to_csv(rows: Iterable[ResultRow], path: str | Path | None = None) -> str:
+    """Serialize rows as CSV; write to ``path`` when given."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(["algorithm", "workload", "n", "seconds", "gflops", "detail"])
+    for r in rows:
+        w.writerow([r.algorithm, r.workload, r.n,
+                    f"{r.seconds:.6f}", f"{r.gflops:.4f}", r.detail])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def from_csv(path: str | Path) -> list[ResultRow]:
+    """Inverse of :func:`to_csv`."""
+    out = []
+    with open(path, newline="") as fh:
+        for rec in csv.DictReader(fh):
+            out.append(ResultRow(
+                algorithm=rec["algorithm"], workload=rec["workload"],
+                n=int(rec["n"]), seconds=float(rec["seconds"]),
+                gflops=float(rec["gflops"]), detail=rec["detail"],
+            ))
+    return out
+
+
+def speedup_table(rows: Iterable[ResultRow], baseline: str = "dgemm") -> str:
+    """Text table of speedups over a baseline, one line per workload."""
+    rows = list(rows)
+    base = {r.workload: r.seconds for r in rows if r.algorithm == baseline}
+    names = sorted({r.algorithm for r in rows if r.algorithm != baseline})
+    lines = [f"{'workload':<18} " + " ".join(f"{n:>10}" for n in names)]
+    by_wl: dict[str, dict[str, float]] = {}
+    for r in rows:
+        if r.algorithm != baseline and r.workload in base:
+            by_wl.setdefault(r.workload, {})[r.algorithm] = (
+                base[r.workload] / r.seconds
+            )
+    for wl, d in by_wl.items():
+        lines.append(f"{wl:<18} " +
+                     " ".join(f"{d.get(n, float('nan')):>10.3f}" for n in names))
+    return "\n".join(lines)

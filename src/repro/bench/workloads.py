@@ -1,0 +1,91 @@
+"""Problem-shape generators for the paper's evaluation (Section 5).
+
+Three families, matching Figures 3-7:
+
+- ``square``       -- N x N x N
+- ``outer``        -- N x K x N with fixed inner dimension K
+                      (the paper's N x 1600 x N / N x 2800 x N)
+- ``ts_square``    -- N x K x K, a tall-skinny times small-square product
+                      (the paper's N x 2400 x 2400 / N x 3000 x 3000)
+
+Paper dimensions are scaled by ``REPRO_BENCH_SCALE`` (default keeps the
+aspect ratios at roughly 1/4 of the paper's sizes so a 2-core container
+finishes sweeps in minutes; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+
+from repro.util.matrices import random_matrix
+
+
+def bench_scale() -> float:
+    """Global problem-size multiplier (env ``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(8, int(round(n * bench_scale())))
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """One (P, Q, R) multiplication problem with deterministic contents."""
+
+    p: int
+    q: int
+    r: int
+    seed: int = 0
+
+    def matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            random_matrix(self.p, self.q, self.seed),
+            random_matrix(self.q, self.r, self.seed + 1),
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.p}x{self.q}x{self.r}"
+
+
+def square(n: int, seed: int = 0) -> Workload:
+    return Workload(n, n, n, seed)
+
+
+def outer(n: int, k: int, seed: int = 0) -> Workload:
+    """Outer-product shape N x K x N (K fixed, small)."""
+    return Workload(n, k, n, seed)
+
+
+def ts_square(n: int, k: int, seed: int = 0) -> Workload:
+    """Tall-skinny times small square: N x K x K."""
+    return Workload(n, k, k, seed)
+
+
+# ---- paper sweeps, scaled ~1/4 by default (paper N in [2000, 20000]) ----
+def fig5_square_sweep() -> list[Workload]:
+    return [square(scaled(n)) for n in (512, 768, 1024, 1280, 1536)]
+
+
+def fig5_outer_sweep() -> list[Workload]:
+    # paper: N x 1600 x N, N in [2000, 12000] -> K = 416 at 0.26 ratio
+    return [outer(scaled(n), scaled(416)) for n in (768, 1024, 1536, 2048)]
+
+
+def fig5_ts_sweep() -> list[Workload]:
+    # paper: N x 2400 x 2400, N in [10000, 18000]
+    return [ts_square(scaled(n), scaled(624)) for n in (2048, 2560, 3072)]
+
+
+def fig7_outer_sweep() -> list[Workload]:
+    # paper: N x 2800 x N
+    return [outer(scaled(n), scaled(728)) for n in (1024, 1536, 2048)]
+
+
+def fig7_ts_sweep() -> list[Workload]:
+    # paper: N x 3000 x 3000
+    return [ts_square(scaled(n), scaled(780)) for n in (2048, 3072, 4096)]

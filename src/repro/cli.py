@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands map onto the library's main entry points:
+
+- ``list``      — the algorithm catalog as a Table-2-style summary;
+- ``verify``    — exactness/residual check of catalog entries;
+- ``multiply``  — time one fast multiply against the vendor BLAS and
+  report effective GFLOPS (Eq. 3), sequential or parallel, optionally
+  through the native C chain backend;
+- ``codegen``   — print the generated Python (or C) source for an
+  algorithm/strategy/CSE combination;
+- ``search``    — run the §2.3 ALS search (delegates to
+  ``repro.search.driver``).
+
+Each subcommand is also importable as a function for tests
+(``cmd_list``, ``cmd_verify``, ...); they return process exit codes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Practical parallel fast matrix multiplication "
+                    "(Benson & Ballard, PPoPP 2015 reproduction)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="show the algorithm catalog (Table 2)")
+    p.add_argument("--apa", action="store_true", help="include APA entries")
+
+    p = sub.add_parser("verify", help="validate catalog decompositions")
+    p.add_argument("names", nargs="*", help="algorithm names (default: all)")
+
+    p = sub.add_parser("multiply", help="time a fast multiply vs BLAS")
+    p.add_argument("--algorithm", "-a", default="strassen")
+    p.add_argument("--shape", nargs=3, type=int, metavar=("P", "Q", "R"),
+                   default=None, help="problem shape (default: square --size)")
+    p.add_argument("--size", "-n", type=int, default=1024)
+    p.add_argument("--steps", "-s", type=int, default=1)
+    p.add_argument("--trials", type=int, default=5, help="median-of-k trials")
+    p.add_argument("--parallel", action="store_true")
+    p.add_argument("--scheme", default="hybrid",
+                   choices=["dfs", "bfs", "hybrid", "hybrid-subgroup"])
+    p.add_argument("--threads", type=int, default=None)
+    p.add_argument("--native", action="store_true",
+                   help="use the compiled C chain backend")
+    p.add_argument("--blas-threads", type=int, default=None,
+                   help="pin the vendor BLAS thread count for both sides")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("codegen", help="print generated source")
+    p.add_argument("--algorithm", "-a", default="strassen")
+    p.add_argument("--strategy", default="write_once",
+                   choices=["pairwise", "write_once", "streaming"])
+    p.add_argument("--cse", action="store_true")
+    p.add_argument("--c", dest="c_source", action="store_true",
+                   help="emit the native C chains instead of Python")
+
+    p = sub.add_parser("search", help="ALS search for a new algorithm "
+                                      "(see repro.search.driver)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to repro.search.driver")
+    return ap
+
+
+# ---------------------------------------------------------------- commands
+def cmd_list(args, out=sys.stdout) -> int:
+    from repro.algorithms import get_algorithm, table2
+
+    print(f"{'name':>14} {'base':>9} {'rank':>5} {'paper':>6} {'classical':>9} "
+          f"{'speedup/step':>12} {'nnz':>6} {'kind':>6}  provenance", file=out)
+    for e in table2():
+        if e.apa and not args.apa:
+            continue
+        nnz = sum(get_algorithm(e.name).nnz())
+        kind = "APA" if e.apa else "exact"
+        base = "<%d,%d,%d>" % e.base_case
+        paper = "-" if e.paper_rank is None else str(e.paper_rank)
+        print(f"{e.name:>14} {base:>9} {e.rank:>5} {paper:>6} "
+              f"{e.classical_rank:>9} {100 * e.speedup_per_step:>11.0f}% "
+              f"{nnz:>6} {kind:>6}  {e.provenance}", file=out)
+    return 0
+
+
+def cmd_verify(args, out=sys.stdout) -> int:
+    from repro.algorithms import get_algorithm, list_algorithms
+
+    names = args.names or list_algorithms()
+    worst = 0.0
+    failures = 0
+    for name in names:
+        alg = get_algorithm(name)
+        resid = alg.residual()
+        ok = alg.apa or resid <= 1e-9
+        failures += not ok
+        worst = max(worst, 0.0 if alg.apa else resid)
+        status = "APA " if alg.apa else ("ok  " if ok else "FAIL")
+        print(f"{name:>14} <{alg.m},{alg.k},{alg.n}> rank {alg.rank:>3} "
+              f"residual {resid:.2e}  {status}", file=out)
+    print(f"{len(names)} checked, {failures} failures, "
+          f"worst exact residual {worst:.2e}", file=out)
+    return 1 if failures else 0
+
+
+def cmd_multiply(args, out=sys.stdout) -> int:
+    import repro
+    from repro.bench.metrics import effective_gflops, median_time
+
+    p, q, r = args.shape if args.shape else (args.size,) * 3
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((p, q))
+    B = rng.standard_normal((q, r))
+
+    if args.native:
+        from repro.codegen import cbackend
+
+        cc = cbackend.compile_chains(args.algorithm)
+        fast = lambda: cc.multiply(A, B, steps=args.steps)  # noqa: E731
+        label = f"{args.algorithm} (native chains)"
+    elif args.parallel:
+        fast = lambda: repro.multiply(  # noqa: E731
+            A, B, algorithm=args.algorithm, steps=args.steps,
+            parallel=True, scheme=args.scheme, threads=args.threads)
+        label = f"{args.algorithm} ({args.scheme})"
+    else:
+        fast = lambda: repro.multiply(  # noqa: E731
+            A, B, algorithm=args.algorithm, steps=args.steps)
+        label = args.algorithm
+
+    if args.blas_threads is not None:
+        from repro.parallel import blas
+
+        with blas.blas_threads(args.blas_threads):
+            t_blas = median_time(lambda: A @ B, trials=args.trials)
+            t_fast = median_time(fast, trials=args.trials)
+    else:
+        t_blas = median_time(lambda: A @ B, trials=args.trials)
+        t_fast = median_time(fast, trials=args.trials)
+    C = fast()
+    err = float(np.linalg.norm(C - A @ B) / np.linalg.norm(A @ B))
+    print(f"shape {p}x{q}x{r}, steps={args.steps}", file=out)
+    print(f"{'vendor BLAS':>24}: {t_blas:8.4f}s "
+          f"{effective_gflops(p, q, r, t_blas):8.2f} eff.GFLOPS", file=out)
+    print(f"{label:>24}: {t_fast:8.4f}s "
+          f"{effective_gflops(p, q, r, t_fast):8.2f} eff.GFLOPS "
+          f"(speedup {t_blas / t_fast:5.2f}x, rel.err {err:.1e})", file=out)
+    return 0
+
+
+def cmd_codegen(args, out=sys.stdout) -> int:
+    from repro.algorithms import get_algorithm
+
+    alg = get_algorithm(args.algorithm)
+    if args.c_source:
+        from repro.codegen import cbackend
+
+        print(cbackend.generate_c_source(alg, cse=args.cse), file=out)
+    else:
+        from repro.codegen import generate_source
+
+        print(generate_source(alg, strategy=args.strategy, cse=args.cse),
+              file=out)
+    return 0
+
+
+def cmd_search(args, out=sys.stdout) -> int:
+    from repro.search import driver
+
+    return driver.main(args.rest)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "search":
+        # forward verbatim: the driver owns its own argparse (REMAINDER
+        # would otherwise swallow/reject the driver's flags)
+        from repro.search import driver
+
+        return driver.main(argv[1:])
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "verify": cmd_verify,
+        "multiply": cmd_multiply,
+        "codegen": cmd_codegen,
+        "search": cmd_search,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # output truncated by a downstream pipe (e.g. `| head`): not an error
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Code generation: [[U,V,W]] -> specialized Python multiply routines.
+
+Mirrors the paper's Section 3: ``chains`` extracts the addition-chain IR,
+``cse`` optionally eliminates repeated length-2 subexpressions,
+``strategies`` lowers chains per addition variant, ``generator`` assembles
+and compiles the module, ``runtime`` hosts the helpers generated code calls.
+"""
+
+from repro.codegen.chains import Chain, ChainProgram, Term, extract_chains
+from repro.codegen.cse import CseResult, eliminate, table3_row
+from repro.codegen.generator import (
+    compile_algorithm,
+    generate_source,
+    write_source,
+)
+from repro.codegen.strategies import STRATEGIES
+
+__all__ = [
+    "Chain",
+    "ChainProgram",
+    "Term",
+    "extract_chains",
+    "CseResult",
+    "eliminate",
+    "table3_row",
+    "compile_algorithm",
+    "generate_source",
+    "write_source",
+    "STRATEGIES",
+]

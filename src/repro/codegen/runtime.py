@@ -1,0 +1,139 @@
+"""Runtime support for generated fast-matmul modules.
+
+Generated code is plain Python over numpy; everything it calls beyond numpy
+lives here: the default BLAS base case, dynamic peeling, axpy-style
+accumulation, and the stacked-gemm primitives used by the *streaming*
+addition strategy (stack the input's blocks once -- one read of the input --
+then form every S_r/T_r in a single BLAS pass).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.matrices import peel_split
+from repro.util.validation import require_2d
+
+as2d = require_2d
+
+
+def default_base(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Leaf multiply: the vendor gemm."""
+    return A @ B
+
+
+def axpy(out: np.ndarray, x: np.ndarray, alpha: float) -> None:
+    """``out += alpha * x`` with the fewest temporaries numpy allows."""
+    if alpha == 1.0:
+        np.add(out, x, out=out)
+    elif alpha == -1.0:
+        np.subtract(out, x, out=out)
+    else:
+        out += alpha * x
+
+
+def peel_apply(
+    A: np.ndarray,
+    B: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    core_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Dynamic peeling (Section 3.5) around a divisible-core multiply.
+
+    ``core_fn`` gets the largest ``(m,k,n)``-divisible leading submatrices;
+    boundary strips are fixed up with thin classical products.
+    """
+    p, q = A.shape
+    r = B.shape[1]
+    A11, A12, A21, A22 = peel_split(A, m, k)
+    B11, B12, B21, B22 = peel_split(B, k, n)
+    pc, qc = A11.shape
+    rc = B11.shape[1]
+    if pc == p and qc == q and rc == r:
+        return core_fn(A11, B11)
+
+    C = np.empty((p, r), dtype=np.result_type(A, B))
+    C[:pc, :rc] = core_fn(A11, B11)
+    if q - qc:
+        C[:pc, :rc] += A12 @ B21
+    if r - rc:
+        C[:pc, rc:] = A11 @ B12
+        if q - qc:
+            C[:pc, rc:] += A12 @ B22
+    if p - pc:
+        C[pc:, :rc] = A21 @ B11
+        if q - qc:
+            C[pc:, :rc] += A22 @ B21
+    if (p - pc) and (r - rc):
+        C[pc:, rc:] = A21 @ B12 + A22 @ B22
+    return C
+
+
+# --------------------------------------------------------------------------
+# streaming-strategy primitives
+# --------------------------------------------------------------------------
+def stack_blocks(X: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Copy ``X``'s ``rows x cols`` block grid into a ``(rows*cols, bp*bq)``
+    matrix (row-major block order) -- the single read of the input that the
+    streaming strategy performs."""
+    p, q = X.shape
+    bp, bq = p // rows, q // cols
+    return (
+        X.reshape(rows, bp, cols, bq)
+        .transpose(0, 2, 1, 3)
+        .reshape(rows * cols, bp * bq)
+    )
+
+
+def streaming_combine(
+    X: np.ndarray,
+    rows: int,
+    cols: int,
+    defs_matrix: np.ndarray | None,
+    chain_matrix: np.ndarray,
+) -> np.ndarray:
+    """Form every S_r (or T_r) in one pass: ``chain_matrix @ [stack; defs]``.
+
+    ``defs_matrix`` (CSE temporaries as rows over the stacked blocks) is
+    evaluated first and appended as extra sources; without CSE it is None
+    and ``chain_matrix`` is just U^T (or V^T) with piped scalars.
+    Returns an ``(R, bp, bq)`` array whose slices are the temporaries.
+    """
+    p, q = X.shape
+    bp, bq = p // rows, q // cols
+    stack = stack_blocks(X, rows, cols)
+    if defs_matrix is not None and defs_matrix.size:
+        ys = defs_matrix.astype(stack.dtype, copy=False) @ stack
+        stack = np.vstack([stack, ys])
+    out = chain_matrix.astype(stack.dtype, copy=False) @ stack
+    return out.reshape(-1, bp, bq)
+
+
+def streaming_output(
+    products: list[np.ndarray],
+    defs_matrix: np.ndarray | None,
+    chain_matrix: np.ndarray,
+    p: int,
+    r: int,
+    m: int,
+    n: int,
+) -> np.ndarray:
+    """Streaming C formation: read each M_r once, write each C block once."""
+    bp, br = p // m, r // n
+    stack = np.empty((len(products), bp * br), dtype=products[0].dtype)
+    for i, Mr in enumerate(products):
+        stack[i] = Mr.reshape(-1)
+    if defs_matrix is not None and defs_matrix.size:
+        stack = np.vstack(
+            [stack, defs_matrix.astype(stack.dtype, copy=False) @ stack]
+        )
+    cc = chain_matrix.astype(stack.dtype, copy=False) @ stack  # (m*n, bp*br)
+    return (
+        cc.reshape(m, n, bp, br)
+        .transpose(0, 2, 1, 3)
+        .reshape(p, r)
+    )

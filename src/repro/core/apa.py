@@ -1,0 +1,134 @@
+"""Arbitrary-precision approximate (APA) algorithms (paper Section 2.2.3).
+
+An APA algorithm is a lambda-parametrized decomposition whose tensor
+approaches the exact matmul tensor as ``lambda -> 0`` while the factor
+entries blow up like ``1/lambda`` -- so evaluating at small lambda trades
+accuracy for a lower rank.  Bini's <3,2,2> rank-10 and Schonhage's <3,3,3>
+rank-21 algorithms are of this type.
+
+Two representations are supported:
+
+- :class:`LaurentAlgorithm`: entries are Laurent polynomials in lambda
+  (dict degree -> coefficient matrix).  ``at(lam)`` instantiates a concrete
+  ``FastAlgorithm``; ``residual_curve`` exhibits the O(lambda) convergence.
+- plain ``FastAlgorithm`` with ``apa=True``: a fixed-lambda instantiation
+  (what our ALS border-rank search produces; see DESIGN.md substitutions).
+
+``optimal_lambda`` implements the paper's rule of thumb ``lambda = sqrt(eps)``
+balancing truncation error (O(lambda)) against roundoff amplification
+(O(eps/lambda)).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import tensor as tz
+from repro.core.algorithm import FastAlgorithm
+
+PolyFactor = dict[int, np.ndarray]
+
+
+def optimal_lambda(eps: float = np.finfo(np.float64).eps) -> float:
+    """Bini's ``lambda = sqrt(eps)`` accuracy-balancing choice."""
+    return float(np.sqrt(eps))
+
+
+def eval_poly(poly: PolyFactor, lam: float) -> np.ndarray:
+    """Evaluate a Laurent-polynomial factor at a concrete lambda."""
+    out = None
+    for deg, coef in sorted(poly.items()):
+        term = np.asarray(coef, dtype=float) * (lam ** deg)
+        out = term if out is None else out + term
+    if out is None:
+        raise ValueError("empty polynomial factor")
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class LaurentAlgorithm:
+    """APA matmul algorithm with Laurent-polynomial factor entries.
+
+    ``U_poly`` etc. map integer lambda-degrees to coefficient matrices; e.g.
+    ``{0: U0, 1: U1}`` means ``U(lam) = U0 + lam * U1`` and ``{-1: W1}``
+    means ``W(lam) = W1 / lam``.
+    """
+
+    m: int
+    k: int
+    n: int
+    U_poly: PolyFactor
+    V_poly: PolyFactor
+    W_poly: PolyFactor
+    name: str = "apa"
+
+    @property
+    def rank(self) -> int:
+        return next(iter(self.U_poly.values())).shape[1]
+
+    def factors_at(self, lam: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if lam <= 0:
+            raise ValueError("lambda must be positive")
+        return (
+            eval_poly(self.U_poly, lam),
+            eval_poly(self.V_poly, lam),
+            eval_poly(self.W_poly, lam),
+        )
+
+    def at(self, lam: float | None = None) -> FastAlgorithm:
+        """Instantiate at a concrete lambda (default: sqrt(machine eps))."""
+        if lam is None:
+            lam = optimal_lambda()
+        U, V, W = self.factors_at(float(lam))
+        return FastAlgorithm(
+            self.m, self.k, self.n, U, V, W,
+            name=f"{self.name}(lam={lam:.2e})", apa=True,
+        )
+
+    def residual_curve(self, lambdas) -> list[float]:
+        """Tensor residual at each lambda -- should decay ~ O(lambda)."""
+        T = tz.matmul_tensor(self.m, self.k, self.n)
+        out = []
+        for lam in lambdas:
+            U, V, W = self.factors_at(float(lam))
+            out.append(tz.residual(T, U, V, W))
+        return out
+
+
+# --------------------------------------------------------------------------
+# minimal genuine border-rank example for unit-testing the APA mechanics
+# --------------------------------------------------------------------------
+def w_state_tensor() -> np.ndarray:
+    """The 2x2x2 "W-state" tensor: rank 3 but border rank 2 -- the smallest
+    honest example of why APA ranks can undercut exact ranks."""
+    T = np.zeros((2, 2, 2))
+    T[0, 0, 1] = T[0, 1, 0] = T[1, 0, 0] = 1.0
+    return T
+
+
+def w_state_apa_factors() -> tuple[PolyFactor, PolyFactor, PolyFactor]:
+    """Rank-2 Laurent decomposition of the W-state tensor:
+
+    ``T = lim_{lam->0} (1/lam) [ (e1+lam e2)^{o 3} - e1^{o 3} ]``
+
+    so U(lam) = V(lam) = [e1+lam e2, e1], W(lam) = [(1/lam) e1... ] with the
+    subtraction folded into W's second column.  Residual decays O(lambda);
+    factor entries grow O(1/lambda): exactly the APA trade-off.
+    """
+    U0 = np.array([[1.0, 1.0], [0.0, 0.0]])
+    U1 = np.array([[0.0, 0.0], [1.0, 0.0]])
+    Wm1 = np.array([[1.0, -1.0], [0.0, 0.0]])
+    W0 = np.array([[0.0, 0.0], [1.0, 0.0]])
+    return ({0: U0, 1: U1}, {0: U0.copy(), 1: U1.copy()}, {-1: Wm1, 0: W0})
+
+
+def apa_error_model(lam: float, steps: int, eps: float = np.finfo(np.float64).eps) -> float:
+    """Crude forward-error estimate for an APA algorithm applied recursively.
+
+    Each recursion level adds an O(lambda) truncation term and an
+    O(eps/lambda) roundoff amplification -- "lose at least half the digits
+    with each recursive step" (Section 1.1).  Returns predicted rel. error.
+    """
+    return float(lam * steps + (eps / lam) * steps + eps)

@@ -1,0 +1,171 @@
+"""Composing fast algorithms: Kronecker products and direct sums.
+
+Two classic constructions let us build exact algorithms for larger base
+cases out of smaller ones (used both for the Hopcroft-Kerr-rank family
+``<2,2,n>`` and as documented fallbacks when the numerical search does not
+reach the paper's rank):
+
+- **Kronecker (tensor) product**: algorithms for ``<m1,k1,n1>`` (rank R1)
+  and ``<m2,k2,n2>`` (rank R2) combine into ``<m1*m2, k1*k2, n1*n2>`` with
+  rank ``R1*R2`` -- this is exactly the "composed" construction the paper
+  uses for its <54,54,54> algorithm (Section 5.2), where different factors
+  may be used at each recursion level.
+
+- **Direct sums** along each of the three dimensions: e.g. splitting B's
+  columns gives ``<m,k,n1+n2>`` from ``<m,k,n1>`` and ``<m,k,n2>`` with
+  rank ``R1+R2`` (``C = A [B1 B2] = [A B1, A B2]``).  Splitting along k
+  sums the two partial products instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+
+
+# --------------------------------------------------------------------------
+# index maps between "pair" ordering and row-major vec ordering
+# --------------------------------------------------------------------------
+def _kron_row_permutation(r1: int, c1: int, r2: int, c2: int) -> np.ndarray:
+    """Permutation ``perm`` such that for X = A1 (x) A2 (block Kronecker of
+    an r1 x c1 by an r2 x c2 matrix), ``vec(X)[perm[i]] = (vec(A1) kron
+    vec(A2))[i]``.
+
+    Kron-index ``i = i1 * (r2*c2) + i2`` with ``i1 = a*c1 + b`` and
+    ``i2 = c*c2 + d`` corresponds to entry (row, col) =
+    ``(a*r2 + c, b*c2 + d)`` of X, i.e. row-major vec index
+    ``(a*r2 + c) * (c1*c2) + b*c2 + d``.
+    """
+    perm = np.empty(r1 * c1 * r2 * c2, dtype=np.intp)
+    i = 0
+    for a in range(r1):
+        for b in range(c1):
+            for c in range(r2):
+                for d in range(c2):
+                    perm[i] = (a * r2 + c) * (c1 * c2) + (b * c2 + d)
+                    i += 1
+    return perm
+
+
+def kron(f: FastAlgorithm, g: FastAlgorithm, name: str | None = None) -> FastAlgorithm:
+    """Tensor-product algorithm for ``<f.m*g.m, f.k*g.k, f.n*g.n>``.
+
+    Semantically: partition A into an ``f.m x f.k`` grid whose blocks are
+    themselves multiplied with algorithm ``g``.
+    """
+    pu = _kron_row_permutation(f.m, f.k, g.m, g.k)
+    pv = _kron_row_permutation(f.k, f.n, g.k, g.n)
+    pw = _kron_row_permutation(f.m, f.n, g.m, g.n)
+    U = np.empty((f.U.shape[0] * g.U.shape[0], f.rank * g.rank))
+    V = np.empty((f.V.shape[0] * g.V.shape[0], f.rank * g.rank))
+    W = np.empty((f.W.shape[0] * g.W.shape[0], f.rank * g.rank))
+    U[pu] = np.kron(f.U, g.U)
+    V[pv] = np.kron(f.V, g.V)
+    W[pw] = np.kron(f.W, g.W)
+    return FastAlgorithm(
+        f.m * g.m, f.k * g.k, f.n * g.n, U, V, W,
+        name=name or f"{f.name}*{g.name}",
+        apa=f.apa or g.apa,
+    )
+
+
+# --------------------------------------------------------------------------
+# direct sums
+# --------------------------------------------------------------------------
+def _embed_rows(src: np.ndarray, row_map: np.ndarray, total_rows: int) -> np.ndarray:
+    out = np.zeros((total_rows, src.shape[1]))
+    out[row_map] = src
+    return out
+
+
+def _grid_rows(rows: int, cols: int, row_off: int, col_off: int,
+               total_cols: int) -> np.ndarray:
+    """vec indices of an ``rows x cols`` block placed at (row_off, col_off)
+    inside a matrix with ``total_cols`` columns (row-major vec)."""
+    idx = np.empty(rows * cols, dtype=np.intp)
+    t = 0
+    for i in range(rows):
+        for j in range(cols):
+            idx[t] = (row_off + i) * total_cols + (col_off + j)
+            t += 1
+    return idx
+
+
+def direct_sum_n(f: FastAlgorithm, g: FastAlgorithm,
+                 name: str | None = None) -> FastAlgorithm:
+    """``<m,k,n1>`` (+) ``<m,k,n2>`` -> ``<m,k,n1+n2>``, rank ``R1+R2``.
+
+    B and C are split column-wise; A is shared by both halves.
+    """
+    if (f.m, f.k) != (g.m, g.k):
+        raise ValueError(f"m,k must agree: {f.base_case} vs {g.base_case}")
+    m, k, n = f.m, f.k, f.n + g.n
+    U = np.hstack([f.U, g.U])
+    vf = _grid_rows(k, f.n, 0, 0, n)
+    vg = _grid_rows(k, g.n, 0, f.n, n)
+    V = np.hstack([
+        _embed_rows(f.V, vf, k * n),
+        _embed_rows(g.V, vg, k * n),
+    ])
+    wf = _grid_rows(m, f.n, 0, 0, n)
+    wg = _grid_rows(m, g.n, 0, f.n, n)
+    W = np.hstack([
+        _embed_rows(f.W, wf, m * n),
+        _embed_rows(g.W, wg, m * n),
+    ])
+    return FastAlgorithm(m, k, n, U, V, W,
+                         name=name or f"{f.name}(+n){g.name}",
+                         apa=f.apa or g.apa)
+
+
+def direct_sum_m(f: FastAlgorithm, g: FastAlgorithm,
+                 name: str | None = None) -> FastAlgorithm:
+    """``<m1,k,n>`` (+) ``<m2,k,n>`` -> ``<m1+m2,k,n>``: A and C split row-wise."""
+    if (f.k, f.n) != (g.k, g.n):
+        raise ValueError(f"k,n must agree: {f.base_case} vs {g.base_case}")
+    m, k, n = f.m + g.m, f.k, f.n
+    uf = _grid_rows(f.m, k, 0, 0, k)
+    ug = _grid_rows(g.m, k, f.m, 0, k)
+    U = np.hstack([
+        _embed_rows(f.U, uf, m * k),
+        _embed_rows(g.U, ug, m * k),
+    ])
+    V = np.hstack([f.V, g.V])
+    wf = _grid_rows(f.m, n, 0, 0, n)
+    wg = _grid_rows(g.m, n, f.m, 0, n)
+    W = np.hstack([
+        _embed_rows(f.W, wf, m * n),
+        _embed_rows(g.W, wg, m * n),
+    ])
+    return FastAlgorithm(m, k, n, U, V, W,
+                         name=name or f"{f.name}(+m){g.name}",
+                         apa=f.apa or g.apa)
+
+
+def direct_sum_k(f: FastAlgorithm, g: FastAlgorithm,
+                 name: str | None = None) -> FastAlgorithm:
+    """``<m,k1,n>`` (+) ``<m,k2,n>`` -> ``<m,k1+k2,n>``.
+
+    A split column-wise, B row-wise; the two partial products *add* into the
+    shared C, so W columns concatenate without embedding.
+    """
+    if (f.m, f.n) != (g.m, g.n):
+        raise ValueError(f"m,n must agree: {f.base_case} vs {g.base_case}")
+    m, k, n = f.m, f.k + g.k, f.n
+    uf = _grid_rows(m, f.k, 0, 0, k)
+    ug = _grid_rows(m, g.k, 0, f.k, k)
+    U = np.hstack([
+        _embed_rows(f.U, uf, m * k),
+        _embed_rows(g.U, ug, m * k),
+    ])
+    vf = _grid_rows(f.k, n, 0, 0, n)
+    vg = _grid_rows(g.k, n, f.k, 0, n)
+    V = np.hstack([
+        _embed_rows(f.V, vf, k * n),
+        _embed_rows(g.V, vg, k * n),
+    ])
+    W = np.hstack([f.W, g.W])
+    return FastAlgorithm(m, k, n, U, V, W,
+                         name=name or f"{f.name}(+k){g.name}",
+                         apa=f.apa or g.apa)

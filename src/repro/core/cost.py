@@ -1,0 +1,160 @@
+"""Arithmetic, communication and memory cost models for fast algorithms.
+
+Reproduces the analytical machinery the paper uses to reason about
+performance:
+
+- flop-count recurrences (Section 2.1): ``F_C(N) = 2N^3 - N^2`` classical,
+  ``F_S(N) = 7 N^{log2 7} - 6 N^2`` for Strassen, and the generalization to
+  any ``<M,K,N>`` base case and any recursion depth;
+- the per-recursive-step multiplication speedup of Table 2;
+- submatrix read/write counts of the three matrix-addition strategies
+  (Section 3.2) -- the quantity that actually separates them in practice;
+- CSE's effect on reads/writes (the "k - 3" argument of Section 3.3);
+- memory-footprint factors of the parallel schemes (Sections 3.2 and 4.2);
+- effective-GFLOPS (Equation 3) lives in ``repro.bench.metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+
+
+# --------------------------------------------------------------------- flops
+def classical_flops(p: int, q: int, r: int) -> int:
+    """Exact classical flop count ``2pqr - pr`` (fused multiply + add tree)."""
+    return 2 * p * q * r - p * r
+
+
+def _addition_flops_per_level(alg: FastAlgorithm, p: int, q: int, r: int) -> int:
+    """Flops spent in S/T/C addition chains at one recursion level.
+
+    A chain with ``t`` nonzero terms costs ``t - 1`` additions per entry
+    (scalar multiplications by +-1 are free; generic scalars add one
+    multiply per entry, which we count too).
+    """
+    m, k, n = alg.base_case
+    bs_a = (p // m) * (q // k)  # block sizes
+    bs_b = (q // k) * (r // n)
+    bs_c = (p // m) * (r // n)
+    total = 0
+    for col in alg.U.T:
+        t = int(np.count_nonzero(col))
+        scal = int(np.count_nonzero(np.abs(col[col != 0]) != 1.0))
+        if t:
+            total += (t - 1 + scal) * bs_a
+    for col in alg.V.T:
+        t = int(np.count_nonzero(col))
+        scal = int(np.count_nonzero(np.abs(col[col != 0]) != 1.0))
+        if t:
+            total += (t - 1 + scal) * bs_b
+    for row in alg.W:
+        t = int(np.count_nonzero(row))
+        scal = int(np.count_nonzero(np.abs(row[row != 0]) != 1.0))
+        if t:
+            total += (t - 1 + scal) * bs_c
+    return total
+
+
+def recursive_flops(alg: FastAlgorithm, p: int, q: int, r: int, steps: int) -> int:
+    """Total flops of ``steps`` recursion levels with classical leaves.
+
+    Requires ``(p, q, r)`` divisible by ``(m^steps, k^steps, n^steps)`` --
+    the model ignores peeling, exactly like the paper's recurrences.
+    """
+    m, k, n = alg.base_case
+    if steps == 0:
+        return classical_flops(p, q, r)
+    if p % m or q % k or r % n:
+        raise ValueError(
+            f"dimensions {(p, q, r)} not divisible by base case {(m, k, n)}"
+        )
+    adds = _addition_flops_per_level(alg, p, q, r)
+    return adds + alg.rank * recursive_flops(
+        alg, p // m, q // k, r // n, steps - 1
+    )
+
+
+def strassen_flops(N: int) -> int:
+    """Closed form ``7 N^{log2 7} - 6 N^2`` for N a power of two (Section 2.1)."""
+    if N & (N - 1):
+        raise ValueError("closed form requires N to be a power of two")
+    return round(7 * N ** math.log2(7) - 6 * N * N)
+
+
+def speedup_per_step(alg: FastAlgorithm) -> float:
+    """Table-2 column: multiplication speedup per recursive step,
+    ``mkn/R - 1`` (e.g. 8/7 - 1 ~= 14% for Strassen)."""
+    return alg.multiplication_speedup_per_step
+
+
+# ------------------------------------------------------ reads/writes, Sec 3.2
+def addition_rw_counts(alg: FastAlgorithm, strategy: str) -> tuple[int, int]:
+    """(submatrix reads, submatrix writes) per recursion level, Section 3.2.
+
+    pairwise:   2*nnz(U,V,W) - 2R - MN reads,  nnz(U,V,W) writes
+    write-once: nnz(U,V,W) reads,              <= 2R + MN writes
+    streaming:  MK + KN + R reads,             <= 2R + MN writes
+
+    For write-once/streaming we report the paper's upper bounds minus the
+    copy-only chains (single-nonzero U/V columns need no temporary at all).
+    """
+    m, k, n = alg.base_case
+    R = alg.rank
+    nu, nv, nw = alg.nnz()
+    nnz_total = nu + nv + nw
+    singles = int(
+        np.sum(np.count_nonzero(alg.U, axis=0) == 1)
+        + np.sum(np.count_nonzero(alg.V, axis=0) == 1)
+    )
+    if strategy == "pairwise":
+        return 2 * nnz_total - 2 * R - m * n, nnz_total
+    if strategy == "write_once":
+        return nnz_total, 2 * R + m * n - singles
+    if strategy == "streaming":
+        return m * k + k * n + R, 2 * R + m * n - singles
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def cse_rw_delta(occurrences: int) -> int:
+    """Change in (reads + writes) from eliminating one length-2 subexpression
+    used ``occurrences`` times under write-once additions (Section 3.3):
+    saves 2 reads per use but costs 2 reads + 1 write to form the temporary,
+    net ``3 - occurrences`` ... negative (an improvement) only for >= 4 uses.
+    """
+    return 3 - occurrences
+
+
+# -------------------------------------------------------------------- memory
+def bfs_memory_factor(alg: FastAlgorithm, levels: int = 1) -> float:
+    """Extra memory (in units of the output C) the BFS scheme needs for the
+    M_r intermediates: a factor ``R/(MN)`` per recursive step (Section 4.2)."""
+    return (alg.rank / (alg.m * alg.n)) ** levels
+
+
+def temporaries_memory(alg: FastAlgorithm, strategy: str) -> int:
+    """How many S/T-block temporaries are live at once at one level.
+
+    pairwise / write-once build (S_r, T_r) just before M_r and release them
+    after; streaming materializes all R of each (Section 3.2).
+    """
+    if strategy in ("pairwise", "write_once"):
+        return 2
+    if strategy == "streaming":
+        return 2 * alg.rank
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+# ------------------------------------------------------------------ exponent
+def composed_exponent(base_cases: list[tuple[int, int, int]], ranks: list[int]) -> float:
+    """Exponent of a composed (multi-level) algorithm such as the paper's
+    <54,54,54> = <3,3,6> o <3,6,3> o <6,3,3> with 40^3 multiplies:
+    ``omega = 3 log_{prod mkn}(prod R)``."""
+    size = 1
+    for m, k, n in base_cases:
+        size *= m * k * n
+    rank = math.prod(ranks)
+    return 3.0 * math.log(rank) / math.log(size)

@@ -1,0 +1,223 @@
+"""Reference recursive executor for fast algorithms (the "interpreter").
+
+This is the semantic ground truth the code generator is tested against:
+given any ``FastAlgorithm`` it multiplies arbitrary-size matrices by
+
+1. *dynamic peeling* (Section 3.5): strip the at-most-(M-1)/(K-1)/(N-1)
+   boundary rows/columns so the core is evenly divisible, recurse on the
+   core, and patch the boundary contributions with thin classical products;
+2. forming ``S_r``/``T_r`` from U/V columns, recursing for ``M_r = S_r T_r``,
+   and accumulating ``C`` blocks from W rows;
+3. stopping after ``steps`` recursion levels -- or earlier when a block
+   dimension would vanish or a cutoff policy says the subproblem has left
+   the flat part of the dgemm curve (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+from repro.util.matrices import block_views, peel_split
+from repro.util.validation import check_matmul_dims, require_2d
+
+BaseMultiply = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _dot(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Default base case: the vendor BLAS gemm (numpy/OpenBLAS dgemm)."""
+    return A @ B
+
+
+@dataclasses.dataclass(frozen=True)
+class CutoffPolicy:
+    """When to take another recursive step (Section 3.4).
+
+    ``max_steps`` is the paper's "one, two or three steps of recursion";
+    ``min_dim`` refuses to recurse once a subproblem dimension would drop
+    below the measured flat part of the dgemm ramp-up curve.
+    """
+
+    max_steps: int = 1
+    min_dim: int = 2
+
+    def should_recurse(self, step: int, p: int, q: int, r: int,
+                       m: int, k: int, n: int) -> bool:
+        if step >= self.max_steps:
+            return False
+        # subproblem dims after one more split
+        return min(p // m, q // k, r // n) >= max(self.min_dim, 1)
+
+
+def combine_blocks(
+    blocks: list[np.ndarray], coeffs: np.ndarray
+) -> np.ndarray | None:
+    """Form ``sum_i coeffs[i] * blocks[i]`` skipping zeros.
+
+    Returns a *view* (no copy) when the combination is a single block with
+    coefficient 1 -- the memory-saving special case of Section 3.1.  Returns
+    None when all coefficients are zero.
+    """
+    nz = np.nonzero(coeffs)[0]
+    if nz.size == 0:
+        return None
+    first = nz[0]
+    # python-float coefficients: under NEP 50 a numpy float64 scalar would
+    # silently upcast float32 blocks
+    c0 = float(coeffs[first])
+    if nz.size == 1:
+        return blocks[first] if c0 == 1.0 else c0 * blocks[first]
+    out = blocks[first] * c0 if c0 != 1.0 else blocks[first].copy()
+    for i in nz[1:]:
+        c = float(coeffs[i])
+        if c == 1.0:
+            out += blocks[i]
+        elif c == -1.0:
+            out -= blocks[i]
+        else:
+            out += c * blocks[i]
+    return out
+
+
+def multiply(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm: FastAlgorithm,
+    steps: int = 1,
+    base: BaseMultiply | None = None,
+    cutoff: CutoffPolicy | None = None,
+) -> np.ndarray:
+    """Multiply ``A @ B`` with ``algorithm``, recursing ``steps`` levels.
+
+    ``base`` is called on the leaf subproblems (default: BLAS gemm); the
+    classical algorithm is also used for all peeling fix-ups, mirroring the
+    generated code.
+    """
+    A = require_2d(A, "A")
+    B = require_2d(B, "B")
+    check_matmul_dims(A, B)
+    if base is None:
+        base = _dot
+    policy = cutoff if cutoff is not None else CutoffPolicy(max_steps=steps)
+    return _recurse(A, B, algorithm, 0, base, policy)
+
+
+def _recurse(
+    A: np.ndarray,
+    B: np.ndarray,
+    alg: FastAlgorithm,
+    step: int,
+    base: BaseMultiply,
+    policy: CutoffPolicy,
+) -> np.ndarray:
+    p, q = A.shape
+    r = B.shape[1]
+    m, k, n = alg.base_case
+    if not policy.should_recurse(step, p, q, r, m, k, n):
+        return base(A, B)
+
+    # ---- dynamic peeling: carve the evenly divisible core ----
+    A11, A12, A21, A22 = peel_split(A, m, k)
+    B11, B12, B21, B22 = peel_split(B, k, n)
+    pc, qc = A11.shape
+    rc = B11.shape[1]
+
+    C = np.empty((p, r), dtype=np.result_type(A, B))
+    Ccore = C[:pc, :rc]
+
+    # ---- fast product on the core ----
+    _core_multiply(A11, B11, Ccore, alg, step, base, policy)
+
+    # ---- boundary fix-ups with thin classical products ----
+    if q - qc:  # inner-dimension strip contributes to the core block of C
+        Ccore += A12 @ B21
+    if r - rc:  # right strip of C
+        C[:pc, rc:] = A11 @ B12
+        if q - qc:
+            C[:pc, rc:] += A12 @ B22
+    if p - pc:  # bottom strip of C
+        C[pc:, :rc] = A21 @ B11
+        if q - qc:
+            C[pc:, :rc] += A22 @ B21
+    if (p - pc) and (r - rc):  # corner
+        C[pc:, rc:] = A21 @ B12 + A22 @ B22
+    return C
+
+
+def multiply_schedule(
+    A: np.ndarray,
+    B: np.ndarray,
+    schedule: list[FastAlgorithm],
+    base: BaseMultiply | None = None,
+) -> np.ndarray:
+    """Multiply using a *different* algorithm at each recursion level.
+
+    This is the paper's "composed" construction (Section 5.2): e.g.
+    ``schedule = [<3,3,6>, <3,6,3>, <6,3,3>]`` realizes the <54,54,54>
+    algorithm with ``prod(R_i)`` total multiplications and exponent
+    ``3 log_54 40 ~= 2.775`` when every level has rank 40.  Recursion depth
+    equals ``len(schedule)``; dynamic peeling applies at every level.
+    """
+    A = require_2d(A, "A")
+    B = require_2d(B, "B")
+    check_matmul_dims(A, B)
+    if base is None:
+        base = _dot
+    if not schedule:
+        return base(A, B)
+
+    def run(X: np.ndarray, Y: np.ndarray, level: int) -> np.ndarray:
+        if level >= len(schedule):
+            return base(X, Y)
+        alg = schedule[level]
+        # one-level policy: recurse exactly once here, deeper via closure
+        inner_base = lambda S, T: run(S, T, level + 1)  # noqa: E731
+        return multiply(X, Y, alg, steps=1, base=inner_base)
+
+    return run(A, B, 0)
+
+
+def _core_multiply(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    alg: FastAlgorithm,
+    step: int,
+    base: BaseMultiply,
+    policy: CutoffPolicy,
+) -> None:
+    """One recursion level on an evenly divisible core, writing into C."""
+    m, k, n = alg.base_case
+    blocksA = block_views(A, m, k)
+    blocksB = block_views(B, k, n)
+    blocksC = block_views(C, m, n)
+    started = [False] * len(blocksC)
+
+    for rr in range(alg.rank):
+        S = combine_blocks(blocksA, alg.U[:, rr])
+        T = combine_blocks(blocksB, alg.V[:, rr])
+        if S is None or T is None:
+            continue  # dead product (possible in composed algorithms)
+        Mr = _recurse(S, T, alg, step + 1, base, policy)
+        wcol = alg.W[:, rr]
+        for i in np.nonzero(wcol)[0]:
+            c = float(wcol[i])
+            blk = blocksC[i]
+            if not started[i]:
+                if c == 1.0:
+                    blk[:] = Mr
+                else:
+                    np.multiply(Mr, c, out=blk)
+                started[i] = True
+            elif c == 1.0:
+                blk += Mr
+            elif c == -1.0:
+                blk -= Mr
+            else:
+                blk += c * Mr
+    for i, s in enumerate(started):
+        if not s:  # all-zero W row can only happen for degenerate inputs
+            blocksC[i][:] = 0.0

@@ -1,0 +1,99 @@
+"""The matrix-multiplication tensor and basic order-3 tensor operations.
+
+Everything in the framework reduces to one object: the tensor
+``T_{<M,K,N>}`` of shape ``(MK, KN, MN)`` with ``t_ijk = 1`` exactly when
+entry ``i`` of ``vec(A)`` times entry ``j`` of ``vec(B)`` contributes to
+entry ``k`` of ``vec(C)`` (paper Section 2.2.2, row-wise vectorization).
+A rank-``R`` decomposition ``T = sum_r u_r o v_r o w_r`` *is* a fast
+algorithm with ``R`` multiplications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def matmul_tensor(m: int, k: int, n: int) -> np.ndarray:
+    """Build the exact ``<m,k,n>`` matrix-multiplication tensor.
+
+    Shape is ``(m*k, k*n, m*n)`` with exactly ``m*k*n`` nonzero (unit)
+    entries.  Index ``i`` enumerates A's entries row-wise (row ``i//k``,
+    column ``i%k``), ``j`` B's entries, ``k``-axis C's entries.
+    """
+    if min(m, k, n) < 1:
+        raise ValueError(f"base-case dims must be positive, got {(m, k, n)}")
+    T = np.zeros((m * k, k * n, m * n))
+    for ar in range(m):  # row of A == row of C
+        for ac in range(k):  # col of A == row of B
+            for bc in range(n):  # col of B == col of C
+                T[ar * k + ac, ac * n + bc, ar * n + bc] = 1.0
+    return T
+
+
+def tensor_from_factors(U: np.ndarray, V: np.ndarray, W: np.ndarray) -> np.ndarray:
+    """Evaluate ``sum_r u_r o v_r o w_r`` densely: the tensor ``[[U,V,W]]``."""
+    return np.einsum("ir,jr,kr->ijk", U, V, W, optimize=True)
+
+
+def residual(
+    T: np.ndarray, U: np.ndarray, V: np.ndarray, W: np.ndarray
+) -> float:
+    """Frobenius norm ``||T - [[U,V,W]]||`` -- zero iff the algorithm is exact."""
+    return float(np.linalg.norm((T - tensor_from_factors(U, V, W)).ravel()))
+
+
+def relative_residual(
+    T: np.ndarray, U: np.ndarray, V: np.ndarray, W: np.ndarray
+) -> float:
+    """``||T - [[U,V,W]]|| / ||T||`` -- the search's convergence measure."""
+    return residual(T, U, V, W) / float(np.linalg.norm(T.ravel()))
+
+
+def mode_product(T: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``T x_1 x x_2 y``: contract the first two modes (paper Section 1.2).
+
+    For the matmul tensor this computes ``vec(C)`` from ``vec(A)`` and
+    ``vec(B)``: ``z_k = sum_ij t_ijk x_i y_j``.
+    """
+    return np.einsum("ijk,i,j->k", T, x, y, optimize=True)
+
+
+def frontal_slice(T: np.ndarray, k: int) -> np.ndarray:
+    """The k-th frontal slice ``T_k = t_{:,:,k}`` (paper notation Table 1)."""
+    return T[:, :, k]
+
+
+def unfold(T: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding (matricization), Kolda-Bader convention.
+
+    ``unfold(T, 0)`` has shape ``(I, J*K)`` with column index ``j + k*J``
+    varying j fastest; the ALS solver relies on this pairing with the
+    Khatri-Rao product.
+    """
+    if mode not in (0, 1, 2):
+        raise ValueError(f"mode must be 0, 1 or 2, got {mode}")
+    return np.moveaxis(T, mode, 0).reshape(T.shape[mode], -1, order="F")
+
+
+def khatri_rao(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Column-wise Kronecker product: shape ``(I*J, R)`` from (I,R),(J,R).
+
+    Row index is ``i + j*I`` (j varying slowest) to match :func:`unfold`'s
+    Fortran-order flattening, so ``unfold(T,0) ~= U @ khatri_rao(V, W).T``
+    pairs mode-1 with V and mode-2 with W correctly.
+    """
+    I, R = A.shape
+    J, R2 = B.shape
+    if R != R2:
+        raise ValueError("factors must have the same number of columns")
+    return (A[:, None, :] * B[None, :, :]).reshape(I * J, R, order="F")
+
+
+def vec(A: np.ndarray) -> np.ndarray:
+    """Row-order vectorization used throughout the paper."""
+    return np.asarray(A).reshape(-1)
+
+
+def unvec(x: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Inverse of :func:`vec`."""
+    return np.asarray(x).reshape(rows, cols)

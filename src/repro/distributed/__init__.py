@@ -1,0 +1,30 @@
+"""Distributed-memory extension (paper Section 6 future work).
+
+The paper closes by noting that fast algorithms reduce *communication* as
+well as arithmetic on distributed machines and that the authors "would
+like to extend the framework to the distributed-memory case".  This
+package supplies that extension as a communication-cost simulator in the
+alpha-beta-gamma model: classical baselines (2D SUMMA, 3D) and the
+BFS/DFS-interleaved parallelization of any ``FastAlgorithm`` (the CAPS
+scheme of Ballard et al. for Strassen, generalized to arbitrary base
+cases), with per-processor memory tracking.
+"""
+
+from repro.distributed.model import Machine, CostBreakdown
+from repro.distributed.classical import summa_cost, cannon_cost, threed_cost
+from repro.distributed.fast import (
+    caps_cost,
+    best_schedule,
+    enumerate_schedules,
+)
+
+__all__ = [
+    "Machine",
+    "CostBreakdown",
+    "summa_cost",
+    "cannon_cost",
+    "threed_cost",
+    "caps_cost",
+    "best_schedule",
+    "enumerate_schedules",
+]

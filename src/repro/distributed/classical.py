@@ -1,0 +1,84 @@
+"""Classical distributed matmul baselines in the alpha-beta-gamma model.
+
+Standard results (Van De Geijn & Watts SUMMA; Cannon; the 2.5D/3D family
+of Solomonik & Demmel) for square N x N products on P processors:
+
+- 2D (SUMMA/Cannon): flops 2N^3/P, words Theta(N^2/sqrt(P)),
+  memory Theta(N^2/P);
+- 3D: words Theta(N^2/P^(2/3)) at memory Theta(N^2/P^(2/3)) -- the
+  bandwidth-optimal corner when memory allows P^(1/3) replication.
+
+These are the comparators the fast-algorithm communication results are
+measured against in the paper's reference [2].
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributed.model import CostBreakdown, Machine
+
+
+def _square_grid(P: int) -> int:
+    g = int(round(math.sqrt(P)))
+    if g * g != P:
+        raise ValueError(f"2D algorithms need a square processor count, got {P}")
+    return g
+
+
+def summa_cost(n: int, machine: Machine, block: int | None = None) -> CostBreakdown:
+    """SUMMA on a sqrt(P) x sqrt(P) grid with panel width ``block``.
+
+    Per processor: 2n^3/P flops; each of the n/b panel rounds broadcasts an
+    (n/sqrt(P)) x b panel of A and of B along rows/columns: ~2 n^2/sqrt(P)
+    words total, n/b * 2 log(sqrt(P)) messages (tree broadcasts).
+    """
+    P = machine.procs
+    g = _square_grid(P)
+    b = block or max(1, n // (4 * g))
+    cost = CostBreakdown(label=f"SUMMA({n}, P={P})")
+    rounds = math.ceil(n / b)
+    logg = max(1.0, math.log2(g))
+    cost.add(
+        messages=rounds * 2 * logg,
+        words=2.0 * n * n / g,
+        flops=2.0 * n ** 3 / P,
+    )
+    cost.track_memory(3.0 * n * n / P + 2.0 * (n / g) * b)
+    return cost
+
+
+def cannon_cost(n: int, machine: Machine) -> CostBreakdown:
+    """Cannon's algorithm: same asymptotic traffic as SUMMA with
+    point-to-point shifts (sqrt(P) rounds, 2 messages each)."""
+    P = machine.procs
+    g = _square_grid(P)
+    cost = CostBreakdown(label=f"Cannon({n}, P={P})")
+    cost.add(
+        messages=2.0 * g,
+        words=2.0 * n * n / g,
+        flops=2.0 * n ** 3 / P,
+    )
+    cost.track_memory(3.0 * n * n / P)
+    return cost
+
+
+def threed_cost(n: int, machine: Machine) -> CostBreakdown:
+    """3D algorithm on a P^(1/3) cube: words Theta(n^2 / P^(2/3)).
+
+    Requires ~3 n^2/P^(2/3) words of memory per processor (replication);
+    raises nothing here -- callers check ``fits``.
+    """
+    P = machine.procs
+    c = round(P ** (1.0 / 3.0))
+    if c ** 3 != P:
+        raise ValueError(f"3D algorithm needs a cubic processor count, got {P}")
+    cost = CostBreakdown(label=f"3D({n}, P={P})")
+    logp = max(1.0, math.log2(P))
+    cost.add(
+        messages=2.0 * logp,
+        words=3.0 * n * n / c ** 2,
+        flops=2.0 * n ** 3 / P,
+    )
+    cost.track_memory(3.0 * n * n / c ** 2)
+    return cost

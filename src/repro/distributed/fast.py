@@ -1,0 +1,186 @@
+"""CAPS-style distributed fast matrix multiplication, generalized.
+
+Ballard, Demmel, Holtz, Lipshitz & Schwartz's CAPS algorithm parallelizes
+Strassen by interleaving two kinds of recursion steps (exactly the BFS/DFS
+vocabulary the paper reuses for shared memory):
+
+- **BFS step**: split the P processors into R groups, redistribute so each
+  group owns one subproblem M_r = S_r T_r.  Costs one collective exchange
+  of the (shrunken) operands, multiplies memory by ~R/(mk | kn | mn) per
+  operand, and divides the processor count by R.
+- **DFS step**: all P processors cooperate on the R subproblems one after
+  another.  No redistribution (additions stay local under a block-cyclic
+  layout) but the R-fold sequential factor hits the critical path.
+
+The base case runs classical SUMMA on whatever processors remain (local
+classical multiply when P reaches 1).
+
+This module *simulates* the per-processor alpha-beta-gamma costs of any
+B/D schedule for any ``FastAlgorithm`` -- the Section-6 "extend to
+distributed memory" exercise -- and reproduces the headline asymptotics:
+with enough memory, a BFS-first schedule communicates asymptotically less
+than any classical algorithm (words ~ n^2 / P^(2/omega) vs n^2 / P^(2/3)).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+from repro.distributed.classical import summa_cost
+from repro.distributed.model import CostBreakdown, Machine
+
+
+def _addition_counts(alg: FastAlgorithm) -> tuple[int, int, int]:
+    """(A-side, B-side, C-side) entrywise additions per recursion level,
+    per block entry (scalar multiplies folded in)."""
+    nu, nv, nw = alg.nnz()
+    return (
+        max(0, nu - alg.rank),
+        max(0, nv - alg.rank),
+        max(0, nw - alg.m * alg.n),
+    )
+
+
+def caps_cost(
+    alg: FastAlgorithm,
+    n: int,
+    machine: Machine,
+    schedule: str,
+) -> CostBreakdown:
+    """Simulate one B/D ``schedule`` (e.g. ``"BBD"``) for an N x N product.
+
+    Square problems only for clarity; the per-step dimension shrink uses
+    the base-case dims per mode.  Raises when a BFS step's processor split
+    is infeasible (P not divisible by R).
+    """
+    m, k, nn = alg.base_case
+    R = alg.rank
+    au, av, aw = _addition_counts(alg)
+
+    cost = CostBreakdown(label=f"CAPS[{schedule}] {alg.name} (n={n}, "
+                         f"P={machine.procs})")
+
+    def recurse(p: float, q: float, r: float, procs: int, depth: int,
+                seq_factor: float) -> None:
+        """Accumulate costs; ``seq_factor`` multiplies critical-path work
+        (DFS steps serialize subproblems)."""
+        data_per_proc = (p * q + q * r + p * r) / procs
+        cost.track_memory(data_per_proc)
+        if depth >= len(schedule):
+            if procs == 1:
+                cost.add(flops=seq_factor * 2.0 * p * q * r)
+            else:
+                # generic 2D-classical base case (SUMMA-like costs without
+                # requiring a perfect-square processor count): words
+                # ~2n^2/sqrt(P), sqrt(P) shift/broadcast rounds
+                g = math.sqrt(procs)
+                cost.add(
+                    messages=seq_factor * 2.0 * g,
+                    words=seq_factor * 2.0 * p * q / g,
+                    flops=seq_factor * 2.0 * p * q * r / procs,
+                )
+                cost.track_memory(3.0 * p * q / procs)
+            return
+
+        step = schedule[depth]
+        bp, bq, br = p / m, q / k, r / nn
+        if step == "B":
+            if procs % R:
+                raise ValueError(
+                    f"BFS step at depth {depth} needs P divisible by R="
+                    f"{R}, got P={procs}"
+                )
+            # redistribute operands + later the outputs: one exchange of
+            # the local share of all S_r/T_r/M_r
+            exchanged = (R * (bp * bq + bq * br + bp * br)) / procs
+            cost.add(messages=seq_factor * 2.0 * max(1.0, math.log2(procs)),
+                     words=seq_factor * exchanged)
+            # additions are local after the exchange
+            cost.add(flops=seq_factor *
+                     (au * bp * bq + av * bq * br + aw * bp * br) / procs)
+            cost.track_memory(exchanged)
+            recurse(bp, bq, br, procs // R, depth + 1, seq_factor)
+        elif step == "D":
+            # additions local under aligned layout; R subproblems in sequence
+            cost.add(flops=seq_factor *
+                     (au * bp * bq + av * bq * br + aw * bp * br) / procs)
+            recurse(bp, bq, br, procs, depth + 1, seq_factor * R)
+        else:
+            raise ValueError(f"schedule may contain only 'B'/'D', got {step!r}")
+
+    recurse(float(n), float(n), float(n), machine.procs, 0, 1.0)
+    return cost
+
+
+def enumerate_schedules(
+    alg: FastAlgorithm,
+    n: int,
+    machine: Machine,
+    max_steps: int = 4,
+) -> list[tuple[str, CostBreakdown]]:
+    """All feasible B/D schedules up to ``max_steps`` with their costs."""
+    out = []
+    for L in range(max_steps + 1):
+        for pattern in itertools.product("BD", repeat=L):
+            sched = "".join(pattern)
+            try:
+                out.append((sched, caps_cost(alg, n, machine, sched)))
+            except ValueError:
+                continue
+    return out
+
+
+def best_schedule(
+    alg: FastAlgorithm,
+    n: int,
+    machine: Machine,
+    max_steps: int = 4,
+) -> tuple[str, CostBreakdown]:
+    """Minimum-time feasible schedule honoring the memory limit.
+
+    Reproduces CAPS's qualitative rule: take BFS steps while memory (and
+    processor divisibility) allow -- they cut communication -- and DFS
+    steps otherwise.
+    """
+    candidates = [
+        (s, c) for s, c in enumerate_schedules(alg, n, machine, max_steps)
+        if c.fits(machine)
+    ]
+    if not candidates:
+        raise ValueError("no feasible schedule fits the memory limit")
+    return min(candidates, key=lambda t: t[1].time(machine))
+
+
+def bandwidth_exponent(alg: FastAlgorithm) -> float:
+    """Asymptotic words ~ n^2 / P^(2/omega - epsilon...): the classical 3D
+    exponent is 2/3; fast algorithms achieve 2/omega_0 > 2/3.  Returns
+    ``2 / omega0`` for comparison tables."""
+    return 2.0 / alg.exponent
+
+
+def communication_series(
+    alg: FastAlgorithm,
+    n: int,
+    machine_procs: list[int],
+    steps_fn=None,
+) -> list[tuple[int, float, float]]:
+    """(P, fast words, SUMMA words) over a processor sweep, using an
+    all-BFS schedule as deep as divisibility allows (up to 4)."""
+    out = []
+    for P in machine_procs:
+        mach = Machine(P)
+        depth = 0
+        pp = P
+        while depth < 4 and pp % alg.rank == 0:
+            pp //= alg.rank
+            depth += 1
+        sched = "B" * depth
+        fast = caps_cost(alg, n, mach, sched)
+        g = int(round(math.sqrt(P)))
+        summa = summa_cost(n, Machine(g * g)) if g * g == P else None
+        out.append((P, fast.words, summa.words if summa else float("nan")))
+    return out

@@ -1,0 +1,74 @@
+"""The alpha-beta-gamma machine model and cost bookkeeping.
+
+Costs follow the standard distributed-computing convention the paper's
+communication references use ([2], [15], [23]):
+
+    time = alpha * (#messages) + beta * (#words moved) + gamma * (#flops)
+
+per processor along the critical path.  ``Machine`` carries the three
+parameters plus processor count and per-processor memory; ``CostBreakdown``
+accumulates the three terms so models can be compared both in closed form
+and as estimated wall time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Machine:
+    """A distributed-memory machine in the alpha-beta-gamma model.
+
+    Defaults are loosely calibrated to a commodity cluster: 1 us latency,
+    1 ns/word (~8 GB/s links), 0.1 ns/flop (~10 GFLOPS/proc).
+    """
+
+    procs: int
+    alpha: float = 1e-6   # seconds per message
+    beta: float = 1e-9    # seconds per word
+    gamma: float = 1e-10  # seconds per flop
+    memory_words: float = float("inf")  # per-processor capacity
+
+    def __post_init__(self):
+        if self.procs < 1:
+            raise ValueError("need at least one processor")
+        if min(self.alpha, self.beta, self.gamma) < 0:
+            raise ValueError("cost parameters must be nonnegative")
+
+
+@dataclasses.dataclass
+class CostBreakdown:
+    """Accumulated per-processor critical-path costs."""
+
+    messages: float = 0.0
+    words: float = 0.0
+    flops: float = 0.0
+    peak_memory: float = 0.0
+    label: str = ""
+
+    def add(self, messages: float = 0.0, words: float = 0.0,
+            flops: float = 0.0) -> None:
+        self.messages += messages
+        self.words += words
+        self.flops += flops
+
+    def track_memory(self, words: float) -> None:
+        self.peak_memory = max(self.peak_memory, words)
+
+    def time(self, m: Machine) -> float:
+        """Estimated wall time on ``m``."""
+        return (m.alpha * self.messages + m.beta * self.words
+                + m.gamma * self.flops)
+
+    def fits(self, m: Machine) -> bool:
+        return self.peak_memory <= m.memory_words
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            self.messages + other.messages,
+            self.words + other.words,
+            self.flops + other.flops,
+            max(self.peak_memory, other.peak_memory),
+            self.label or other.label,
+        )

@@ -1,0 +1,104 @@
+"""Blocked lower Cholesky factorization (POTRF) over a kernel.
+
+Right-looking blocked algorithm: for each diagonal block,
+
+    L11 ← chol(A11)                     (vendor LAPACK, small)
+    L21 ← A21 L11⁻ᵀ                     (TRSM, right/lower/trans)
+    A22 ← A22 − L21 L21ᵀ                (SYRK-shaped, through the kernel)
+
+The trailing update is the only O(n³) term; routing it through a fast
+algorithm transfers the paper's speedups to SPD factorization.  A true
+SYRK exploits symmetry for half the flops; here the update is computed
+as a full gemm so that classical and fast kernels are compared on the
+same operation — the *relative* comparison the paper cares about is
+unaffected, and ``use_syrk_blocks=True`` provides the halved-flop blocked
+variant (lower-triangle block columns only) for the curious.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.linalg.kernels import MatmulKernel
+from repro.linalg.trsm import solve_triangular
+from repro.util.validation import require_2d
+
+DEFAULT_BLOCK = 128
+
+
+def cholesky(
+    A: np.ndarray,
+    kernel: MatmulKernel | None = None,
+    block: int = DEFAULT_BLOCK,
+    use_syrk_blocks: bool = False,
+) -> np.ndarray:
+    """Return lower-triangular ``L`` with ``L Lᵀ = A`` for SPD ``A``.
+
+    Only the lower triangle of ``A`` is referenced.  Raises
+    ``np.linalg.LinAlgError`` if a diagonal block is not positive
+    definite (inherited from the vendor base case).
+    """
+    A = require_2d(A, "A")
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"A must be square, got {A.shape}")
+    kernel = kernel or MatmulKernel()
+    n = A.shape[0]
+    # work on a fresh lower-triangular copy; upper stays zero
+    L = np.tril(A).astype(np.float64)
+    for j in range(0, n, block):
+        b = min(block, n - j)
+        Ljj = L[j : j + b, j : j + b]
+        Ljj[...] = np.linalg.cholesky(Ljj)
+        if j + b == n:
+            break
+        # panel: L21 ← A21 L11⁻ᵀ  (solve X L11ᵀ = A21 from the right)
+        L[j + b :, j : j + b] = solve_triangular(
+            Ljj, L[j + b :, j : j + b],
+            side="right", lower=True, trans=True, kernel=kernel,
+        )
+        L21 = L[j + b :, j : j + b]
+        trailing = L[j + b :, j + b :]
+        if use_syrk_blocks:
+            _syrk_update_lower(trailing, L21, kernel, block)
+        else:
+            kernel.update(trailing, L21, L21.T, alpha=-1.0)
+            # re-zero the upper triangle the full update touched
+            trailing[...] = np.tril(trailing)
+    return L
+
+
+def _syrk_update_lower(
+    C: np.ndarray, X: np.ndarray, kernel: MatmulKernel, block: int
+) -> None:
+    """``C ← C − X Xᵀ`` touching only C's lower triangle, block column-wise.
+
+    Diagonal blocks are updated with a full small gemm then re-truncated;
+    sub-diagonal blocks use the kernel at full size.  Total flops ≈ half
+    of the full update for large C.
+    """
+    n = C.shape[0]
+    for j in range(0, n, block):
+        b = min(block, n - j)
+        Xj = X[j : j + b, :]
+        # diagonal block (small): classical, then keep the lower part
+        D = C[j : j + b, j : j + b]
+        D -= Xj @ Xj.T
+        D[...] = np.tril(D)
+        if j + b < n:
+            kernel.update(C[j + b :, j : j + b], X[j + b :, :], Xj.T, alpha=-1.0)
+
+
+def cholesky_error(A: np.ndarray, L: np.ndarray) -> float:
+    """Backward error ``‖A − L Lᵀ‖ / ‖A‖`` using the lower triangle of A."""
+    A = np.asarray(A, dtype=np.float64)
+    S = np.tril(A) + np.tril(A, -1).T
+    R = L @ L.T - S
+    denom = float(np.linalg.norm(S)) or 1.0
+    return float(np.linalg.norm(R)) / denom
+
+
+def scipy_reference(A: np.ndarray) -> np.ndarray:
+    """Vendor LAPACK POTRF via SciPy (lower), for comparison in tests."""
+    return scipy.linalg.cholesky(np.asarray(A, dtype=np.float64),
+                                 lower=True, check_finite=False)

@@ -1,0 +1,150 @@
+"""Gemm-shaped kernel objects that route through the fast-multiply stack.
+
+A :class:`MatmulKernel` is the single knob the :mod:`repro.linalg`
+routines expose for choosing *how* their O(n³) updates are computed: the
+vendor BLAS (``algorithm=None``), any catalog fast algorithm by name, or
+an explicit :class:`~repro.core.algorithm.FastAlgorithm` — sequentially
+or under one of the paper's parallel schemes.
+
+This mirrors how BLIS/PLASMA-style frameworks are organized (the paper's
+§6 proposal): the factorization drivers are written once against a gemm
+interface and the kernel decides classical vs fast.  The ``min_dim``
+guard encodes the paper's §3.4 cutoff lesson — fast algorithms only pay
+off once the operands clear the vendor gemm's ramp-up region, so small
+panel-sized updates fall through to BLAS automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+from repro.core.recursion import multiply as multiply_reference
+from repro.parallel.schedules import multiply_parallel
+
+
+@dataclasses.dataclass
+class MatmulKernel:
+    """A configured matrix-multiply ``(A, B) -> A @ B``.
+
+    Parameters
+    ----------
+    algorithm:
+        ``None`` for the vendor BLAS, a registry name (``"strassen"``,
+        ``"s424"``, ...) or a :class:`FastAlgorithm`.
+    steps:
+        recursion depth for the fast algorithm (paper: best of 1–3).
+    parallel, scheme, threads:
+        run leaf multiplies under a §4 scheme (``dfs``/``bfs``/``hybrid``).
+    min_dim:
+        operands whose smallest dimension is below this use BLAS directly;
+        fast recursion on panel-thin blocks only adds overhead (§3.4).
+    counting:
+        when True, record every call in :attr:`calls` (shape triples), so
+        tests and benchmarks can audit where the flops went.
+    """
+
+    algorithm: str | FastAlgorithm | None = None
+    steps: int = 1
+    parallel: bool = False
+    scheme: str = "hybrid"
+    threads: int | None = None
+    min_dim: int = 128
+    counting: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.algorithm, str):
+            from repro.algorithms import get_algorithm
+
+            self.algorithm = get_algorithm(self.algorithm)
+        self.calls: list[tuple[int, int, int, str]] = []
+
+    # ------------------------------------------------------------------ info
+    @property
+    def is_fast(self) -> bool:
+        """True when a fast algorithm (not the vendor BLAS) is configured."""
+        return self.algorithm is not None
+
+    def flops(self, p: int, q: int, r: int) -> float:
+        """Classical flop count ``2pqr`` of one product (for reporting).
+
+        The kernel's *actual* arithmetic is lower when fast algorithms
+        engage; effective-GFLOPS reporting (Eq. 3) deliberately normalizes
+        by the classical count, and so do we.
+        """
+        return 2.0 * p * q * r
+
+    # ----------------------------------------------------------------- calls
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Return ``A @ B`` through the configured path."""
+        p, q = A.shape
+        r = B.shape[1]
+        route = self._route(p, q, r)
+        if self.counting:
+            self.calls.append((p, q, r, route))
+        if route == "blas":
+            return A @ B
+        assert isinstance(self.algorithm, FastAlgorithm)
+        if route == "parallel":
+            return multiply_parallel(
+                A, B, self.algorithm, steps=self.steps,
+                scheme=self.scheme, threads=self.threads,
+            )
+        return multiply_reference(A, B, self.algorithm, steps=self.steps)
+
+    def update(
+        self,
+        C: np.ndarray,
+        A: np.ndarray,
+        B: np.ndarray,
+        alpha: float = -1.0,
+    ) -> np.ndarray:
+        """In-place rank-q update ``C += alpha * (A @ B)``; returns ``C``.
+
+        This is the gemm form every blocked factorization needs (trailing
+        updates are ``C -= L @ U``).  ``C`` may be a non-contiguous view
+        into a larger matrix — the accumulate is done with ufunc ``out=``
+        so no copy of ``C`` is made.
+        """
+        if C.shape != (A.shape[0], B.shape[1]):
+            raise ValueError(
+                f"update shape mismatch: C is {C.shape}, product is "
+                f"{(A.shape[0], B.shape[1])}"
+            )
+        if min(C.shape) == 0 or A.shape[1] == 0:
+            return C
+        P = self(A, B)
+        if alpha == 1.0:
+            np.add(C, P, out=C)
+        elif alpha == -1.0:
+            np.subtract(C, P, out=C)
+        else:
+            P *= alpha
+            np.add(C, P, out=C)
+        return C
+
+    # -------------------------------------------------------------- internal
+    def _route(self, p: int, q: int, r: int) -> str:
+        if self.algorithm is None or min(p, q, r) < self.min_dim:
+            return "blas"
+        return "parallel" if self.parallel else "sequential"
+
+    def reset_counts(self) -> None:
+        self.calls.clear()
+
+    def fast_fraction(self) -> float:
+        """Fraction of recorded classical flops routed through the fast path.
+
+        Only meaningful with ``counting=True``; tests use it to assert
+        that the blocked drivers really do put the bulk of their work
+        through the fast algorithm.
+        """
+        total = fast = 0.0
+        for p, q, r, route in self.calls:
+            f = self.flops(p, q, r)
+            total += f
+            if route != "blas":
+                fast += f
+        return fast / total if total else 0.0

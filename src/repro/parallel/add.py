@@ -1,0 +1,66 @@
+"""Bandwidth-bound kernels and the STREAM-like machine measurement.
+
+Section 4.5's argument: gemm is compute-bound and scales ~P-fold, matrix
+addition is bandwidth-bound and scales with the memory system (the paper's
+node: ~5x at 24 cores, i.e. ~20% parallel efficiency), so parallel fast
+algorithms lose ground to parallel classical gemm as cores increase.  This
+module provides the measured inputs for that analysis on the present node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool, parallel_axpy
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamResult:
+    """Triad bandwidth at each thread count, GiB/s, plus derived efficiency."""
+
+    threads: list[int]
+    bandwidth_gib_s: list[float]
+
+    def speedup(self) -> list[float]:
+        b0 = self.bandwidth_gib_s[0]
+        return [b / b0 for b in self.bandwidth_gib_s]
+
+    def parallel_efficiency(self) -> list[float]:
+        return [s / t for s, t in zip(self.speedup(), self.threads)]
+
+
+def stream_triad(
+    pool: WorkerPool,
+    threads: int,
+    size_mb: float = 64.0,
+    repeats: int = 5,
+) -> float:
+    """STREAM-triad-like measurement ``a += 2.0 * b`` at a thread count.
+
+    Returns sustained GiB/s (3 matrix accesses per element: read a, read b,
+    write a), median of ``repeats``.
+    """
+    n = int(size_mb * 1024 * 1024 / 8)
+    rows = max(threads, 64)
+    a = np.ones((rows, n // rows))
+    b = np.ones((rows, n // rows))
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        if threads <= 1:
+            np.add(a, b, out=a)
+        else:
+            parallel_axpy(pool, a, b, 1.0)
+        times.append(time.perf_counter() - t0)
+    bytes_moved = 3 * a.nbytes
+    return bytes_moved / (sorted(times)[len(times) // 2]) / 2**30
+
+
+def measure_stream(
+    pool: WorkerPool, thread_counts: list[int], size_mb: float = 64.0
+) -> StreamResult:
+    bw = [stream_triad(pool, t, size_mb=size_mb) for t in thread_counts]
+    return StreamResult(list(thread_counts), bw)

@@ -1,0 +1,110 @@
+"""Runtime control of the vendor BLAS thread count.
+
+The paper's DFS and HYBRID schemes adjust MKL's thread count per call
+(``mkl_set_num_threads``).  Our vendor library is the OpenBLAS bundled with
+numpy; we bind its thread-control entry points via ctypes.  When the
+symbols cannot be found (exotic numpy builds) the controls degrade to
+no-ops and ``is_controllable()`` reports False so benchmarks can fall back
+to the tiled-gemm substrate in ``repro.parallel.gemm``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import ctypes
+import glob
+import os
+import threading
+
+_SYMBOL_CANDIDATES = [
+    # (get, set) pairs, most specific first
+    ("scipy_openblas_get_num_threads64_", "scipy_openblas_set_num_threads64_"),
+    ("scipy_openblas_get_num_threads", "scipy_openblas_set_num_threads"),
+    ("openblas_get_num_threads64_", "openblas_set_num_threads64_"),
+    ("openblas_get_num_threads", "openblas_set_num_threads"),
+]
+
+_lock = threading.Lock()
+_lib = None
+_get = None
+_set = None
+_probed = False
+
+
+def _library_paths() -> list[str]:
+    paths = []
+    try:
+        import numpy
+
+        base = os.path.dirname(numpy.__file__)
+        paths += glob.glob(os.path.join(base, "..", "numpy.libs", "libscipy_openblas*"))
+        paths += glob.glob(os.path.join(base, ".libs", "libopenblas*"))
+    except Exception:  # pragma: no cover - numpy always present in practice
+        pass
+    return paths
+
+
+def _probe() -> None:
+    global _lib, _get, _set, _probed
+    if _probed:
+        return
+    with _lock:
+        if _probed:
+            return
+        for path in _library_paths():
+            try:
+                lib = ctypes.CDLL(path)
+            except OSError:
+                continue
+            for get_name, set_name in _SYMBOL_CANDIDATES:
+                getter = getattr(lib, get_name, None)
+                setter = getattr(lib, set_name, None)
+                if getter is not None and setter is not None:
+                    getter.restype = ctypes.c_int
+                    setter.argtypes = [ctypes.c_int]
+                    _lib, _get, _set = lib, getter, setter
+                    _probed = True
+                    return
+        _probed = True
+
+
+def is_controllable() -> bool:
+    """True when the vendor BLAS exposes runtime thread control."""
+    _probe()
+    return _set is not None
+
+
+def get_threads() -> int:
+    """Current BLAS thread count (1 when uncontrollable)."""
+    _probe()
+    return int(_get()) if _get is not None else 1
+
+
+def set_threads(n: int) -> None:
+    """Set the BLAS thread count; silently a no-op when uncontrollable."""
+    if n < 1:
+        raise ValueError("thread count must be >= 1")
+    _probe()
+    if _set is not None:
+        _set(int(n))
+
+
+@contextlib.contextmanager
+def blas_threads(n: int):
+    """Temporarily pin the vendor BLAS to ``n`` threads.
+
+    This is the lever the parallel schemes use: BFS tasks run their leaf
+    gemms under ``blas_threads(1)``, DFS leaves under ``blas_threads(P)``.
+    """
+    _probe()
+    old = get_threads()
+    set_threads(n)
+    try:
+        yield
+    finally:
+        set_threads(old)
+
+
+def sequential():
+    """Alias for ``blas_threads(1)`` -- the paper's sequential dgemm."""
+    return blas_threads(1)

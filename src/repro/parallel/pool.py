@@ -1,0 +1,148 @@
+"""Worker pool with OpenMP-task-like semantics.
+
+The paper parallelizes with OpenMP tasks plus ``taskwait`` barriers
+(Section 4.4).  Python threads + numpy reproduce this honestly because the
+heavy primitives (BLAS gemm, large-array ufuncs) release the GIL, so leaf
+multiplications and matrix additions genuinely overlap.
+
+``TaskGroup`` mirrors ``#pragma omp taskwait``: submit tasks, then ``wait``
+for all of them; exceptions in workers propagate to the waiter.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+def available_cores() -> int:
+    """Cores available to this process (the paper's "P threads")."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """Thin, persistent thread pool with barrier-style task groups."""
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers or available_cores()
+        self._ex = ThreadPoolExecutor(max_workers=self.workers)
+
+    # -- task API ----------------------------------------------------------
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        return self._ex.submit(fn, *args, **kwargs)
+
+    def map_wait(self, fn: Callable, items: Iterable) -> list:
+        """Submit ``fn(item)`` for every item and wait (ordered results).
+
+        Routed through :meth:`submit` so subclasses (e.g. the tracing pool)
+        see every task.
+        """
+        futures = [self.submit(fn, it) for it in items]
+        return [f.result() for f in futures]
+
+    def group(self) -> "TaskGroup":
+        return TaskGroup(self)
+
+    # -- lifecycle ----------------------------------------------------------
+    def shutdown(self) -> None:
+        self._ex.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class TaskGroup:
+    """Collects futures; ``wait()`` is the ``taskwait`` barrier."""
+
+    def __init__(self, pool: WorkerPool):
+        self._pool = pool
+        self._futures: list[Future] = []
+
+    def run(self, fn: Callable, *args, **kwargs) -> Future:
+        fut = self._pool.submit(fn, *args, **kwargs)  # honors subclasses
+        self._futures.append(fut)
+        return fut
+
+    def wait(self) -> list:
+        results = [f.result() for f in self._futures]
+        self._futures.clear()
+        return results
+
+
+# --------------------------------------------------------------------------
+# parallel element-wise kernels (bandwidth-bound work of Section 4.5)
+# --------------------------------------------------------------------------
+def _row_slabs(nrows: int, parts: int) -> list[slice]:
+    bounds = np.linspace(0, nrows, parts + 1).astype(int)
+    return [slice(a, b) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def parallel_copy(pool: WorkerPool, dst: np.ndarray, src: np.ndarray) -> None:
+    g = pool.group()
+    for sl in _row_slabs(dst.shape[0], pool.workers):
+        g.run(np.copyto, dst[sl], src[sl])
+    g.wait()
+
+
+def parallel_axpy(
+    pool: WorkerPool, out: np.ndarray, x: np.ndarray, alpha: float
+) -> None:
+    """``out += alpha * x`` split row-wise across the pool."""
+
+    def work(sl: slice) -> None:
+        if alpha == 1.0:
+            np.add(out[sl], x[sl], out=out[sl])
+        elif alpha == -1.0:
+            np.subtract(out[sl], x[sl], out=out[sl])
+        else:
+            out[sl] += alpha * x[sl]
+
+    g = pool.group()
+    for sl in _row_slabs(out.shape[0], pool.workers):
+        g.run(work, sl)
+    g.wait()
+
+
+def parallel_combine(
+    pool: WorkerPool,
+    out: np.ndarray,
+    blocks: Sequence[np.ndarray],
+    coeffs: Sequence[float],
+) -> None:
+    """``out = sum_i coeffs[i] * blocks[i]`` with row-slab parallelism.
+
+    This is how the DFS scheme parallelizes every addition chain ("matrix
+    additions are trivially parallelized", Section 4.1).
+    """
+    nz = [(c, blk) for c, blk in zip(coeffs, blocks) if c != 0.0]
+    if not nz:
+        out[:] = 0.0
+        return
+
+    def work(sl: slice) -> None:
+        c0, b0 = nz[0]
+        if c0 == 1.0:
+            np.copyto(out[sl], b0[sl])
+        else:
+            np.multiply(b0[sl], c0, out=out[sl])
+        for c, blk in nz[1:]:
+            if c == 1.0:
+                np.add(out[sl], blk[sl], out=out[sl])
+            elif c == -1.0:
+                np.subtract(out[sl], blk[sl], out=out[sl])
+            else:
+                out[sl] += c * blk[sl]
+
+    g = pool.group()
+    for sl in _row_slabs(out.shape[0], pool.workers):
+        g.run(work, sl)
+    g.wait()

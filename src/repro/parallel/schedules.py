@@ -1,0 +1,344 @@
+"""Shared-memory parallel fast matrix multiplication (paper Section 4).
+
+Three schemes over the recursion tree:
+
+- **DFS** (Section 4.1): ordinary depth-first recursion; every leaf gemm
+  uses *all* P threads (vendor-BLAS parallelism) and every addition chain
+  is row-slab parallelized.  Code path identical to sequential; needs large
+  leaves to profit (the parallel dgemm ramp-up is flatter).
+
+- **BFS** (Section 4.2): task parallelism.  The recursion tree is expanded
+  level-synchronously: one task per (node, r) forms ``S_r``/``T_r`` with
+  its additions, a ``taskwait`` barrier separates levels, the ``R^L`` leaf
+  products run as independent single-BLAS-thread tasks, and combine stages
+  walk back up with one task per node.  Needs ~R/(MN) extra memory per
+  level and suffers load imbalance when P does not divide the task count.
+
+- **HYBRID** (Section 4.3): the first ``R^L - (R^L mod P)`` leaves run BFS
+  style (perfectly load balanced), the remaining ``R^L mod P`` run DFS
+  style with all threads *after* the BFS batch completes (the paper's
+  explicit synchronization that avoids oversubscription).  The alternative
+  sub-group variant assigns the remainder to disjoint groups of P' < P
+  threads; both are implemented.
+
+Dynamic peeling applies at every node: boundary fix-up products are
+attached to the node and executed during its combine stage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.core.algorithm import FastAlgorithm
+from repro.core.recursion import combine_blocks
+from repro.parallel import blas
+from repro.parallel.gemm import dgemm
+from repro.parallel.pool import WorkerPool, parallel_combine
+from repro.util.matrices import block_views, peel_split
+from repro.util.validation import check_matmul_dims, require_2d
+
+SCHEMES = ("dfs", "bfs", "hybrid", "hybrid-subgroup")
+
+
+# =========================================================================
+# DFS
+# =========================================================================
+def _dfs_recurse(
+    A: np.ndarray,
+    B: np.ndarray,
+    alg: FastAlgorithm,
+    steps: int,
+    pool: WorkerPool,
+    threads: int,
+) -> np.ndarray:
+    p, q = A.shape
+    r = B.shape[1]
+    m, k, n = alg.base_case
+    if steps <= 0 or p < m or q < k or r < n:
+        return dgemm(A, B, threads=threads)
+
+    A11, A12, A21, A22 = peel_split(A, m, k)
+    B11, B12, B21, B22 = peel_split(B, k, n)
+    pc, qc = A11.shape
+    rc = B11.shape[1]
+
+    C = np.empty((p, r), dtype=np.result_type(A, B))
+    Ccore = C[:pc, :rc]
+    _dfs_core(A11, B11, Ccore, alg, steps, pool, threads)
+
+    if q - qc:
+        Ccore += dgemm(A12, B21, threads=threads)
+    if r - rc:
+        C[:pc, rc:] = dgemm(A11, B12, threads=threads)
+        if q - qc:
+            C[:pc, rc:] += dgemm(A12, B22, threads=threads)
+    if p - pc:
+        C[pc:, :rc] = dgemm(A21, B11, threads=threads)
+        if q - qc:
+            C[pc:, :rc] += dgemm(A22, B21, threads=threads)
+    if (p - pc) and (r - rc):
+        C[pc:, rc:] = dgemm(A21, B12, threads=threads) + dgemm(
+            A22, B22, threads=threads
+        )
+    return C
+
+
+def _dfs_core(A, B, C, alg, steps, pool, threads) -> None:
+    m, k, n = alg.base_case
+    blocksA = block_views(A, m, k)
+    blocksB = block_views(B, k, n)
+    blocksC = block_views(C, m, n)
+    bp, bq = blocksA[0].shape
+    br = blocksB[0].shape[1]
+    started = [False] * len(blocksC)
+    for rr in range(alg.rank):
+        ucol = alg.U[:, rr]
+        vcol = alg.V[:, rr]
+        # additions fully parallelized (Section 4.1)
+        if np.count_nonzero(ucol) == 1 and ucol[np.nonzero(ucol)[0][0]] == 1.0:
+            S = blocksA[int(np.nonzero(ucol)[0][0])]
+        else:
+            S = np.empty((bp, bq), dtype=A.dtype)
+            parallel_combine(pool, S, blocksA, ucol)
+        if np.count_nonzero(vcol) == 1 and vcol[np.nonzero(vcol)[0][0]] == 1.0:
+            T = blocksB[int(np.nonzero(vcol)[0][0])]
+        else:
+            T = np.empty((bq, br), dtype=B.dtype)
+            parallel_combine(pool, T, blocksB, vcol)
+        Mr = _dfs_recurse(S, T, alg, steps - 1, pool, threads)
+        wcol = alg.W[:, rr]
+        for i in np.nonzero(wcol)[0]:
+            c = float(wcol[i])
+            blk = blocksC[i]
+            if not started[i]:
+                if c == 1.0:
+                    parallel_combine(pool, blk, [Mr], [1.0])
+                else:
+                    parallel_combine(pool, blk, [Mr], [c])
+                started[i] = True
+            else:
+                from repro.parallel.pool import parallel_axpy
+
+                parallel_axpy(pool, blk, Mr, c)
+    for i, s in enumerate(started):
+        if not s:
+            blocksC[i][:] = 0.0
+
+
+# =========================================================================
+# BFS / HYBRID: level-synchronous task tree
+# =========================================================================
+@dataclasses.dataclass
+class _Node:
+    """One subproblem in the recursion tree."""
+
+    A: np.ndarray
+    B: np.ndarray
+    level: int
+    alg: FastAlgorithm
+    children: list["_Node"] = dataclasses.field(default_factory=list)
+    result: np.ndarray | None = None
+    # peeling views captured at expansion time, applied at combine time
+    _peel: tuple | None = None
+
+    def expand(self) -> list[tuple["_Node", int]]:
+        """Split into per-rank child subproblems; returns (self, r) work
+        items whose S/T formation runs as tasks."""
+        m, k, n = self.alg.base_case
+        A11, A12, A21, A22 = peel_split(self.A, m, k)
+        B11, B12, B21, B22 = peel_split(self.B, k, n)
+        self._peel = (A11, A12, A21, A22, B11, B12, B21, B22)
+        self.children = [None] * self.alg.rank  # type: ignore[list-item]
+        return [(self, r) for r in range(self.alg.rank)]
+
+    def form_child(self, r: int) -> "_Node":
+        """Task body: form (S_r, T_r) with serial additions (they belong to
+        the task, Section 4.2)."""
+        m, k, n = self.alg.base_case
+        A11 = self._peel[0]
+        B11 = self._peel[4]
+        blocksA = block_views(A11, m, k)
+        blocksB = block_views(B11, k, n)
+        S = combine_blocks(blocksA, self.alg.U[:, r])
+        T = combine_blocks(blocksB, self.alg.V[:, r])
+        child = _Node(S, T, self.level + 1, self.alg)
+        self.children[r] = child
+        return child
+
+    def leaf_multiply(self) -> None:
+        self.result = self.A @ self.B
+
+    def combine(self) -> None:
+        """Task body: assemble C from children products + peel fix-ups."""
+        A11, A12, A21, A22, B11, B12, B21, B22 = self._peel
+        p, q = self.A.shape
+        r = self.B.shape[1]
+        pc, qc = A11.shape
+        rc = B11.shape[1]
+        m, k, n = self.alg.base_case
+        C = np.empty((p, r), dtype=np.result_type(self.A, self.B))
+        Ccore = C[:pc, :rc]
+        blocksC = block_views(Ccore, m, n)
+        started = [False] * len(blocksC)
+        for rr, child in enumerate(self.children):
+            Mr = child.result
+            wcol = self.alg.W[:, rr]
+            for i in np.nonzero(wcol)[0]:
+                c = float(wcol[i])
+                blk = blocksC[i]
+                if not started[i]:
+                    if c == 1.0:
+                        blk[:] = Mr
+                    else:
+                        np.multiply(Mr, c, out=blk)
+                    started[i] = True
+                elif c == 1.0:
+                    blk += Mr
+                elif c == -1.0:
+                    blk -= Mr
+                else:
+                    blk += c * Mr
+        for i, s in enumerate(started):
+            if not s:
+                blocksC[i][:] = 0.0
+        # thin classical fix-ups (dynamic peeling, Section 3.5)
+        if q - qc:
+            Ccore += A12 @ B21
+        if r - rc:
+            C[:pc, rc:] = A11 @ B12
+            if q - qc:
+                C[:pc, rc:] += A12 @ B22
+        if p - pc:
+            C[pc:, :rc] = A21 @ B11
+            if q - qc:
+                C[pc:, :rc] += A22 @ B21
+        if (p - pc) and (r - rc):
+            C[pc:, rc:] = A21 @ B12 + A22 @ B22
+        self.result = C
+        self.children = []  # release child memory promptly
+
+
+def _expand_tree(
+    root: _Node, levels: int, pool: WorkerPool
+) -> list[list[_Node]]:
+    """Level-synchronous expansion with a taskwait barrier per level."""
+    tree: list[list[_Node]] = [[root]]
+    frontier = [root]
+    for _ in range(levels):
+        work: list[tuple[_Node, int]] = []
+        for node in frontier:
+            m, k, n = node.alg.base_case
+            p, q = node.A.shape
+            r = node.B.shape[1]
+            if p < m or q < k or r < n:
+                continue  # too small: stays a leaf, multiplied directly
+            work.extend(node.expand())
+        if not work:
+            break
+        children = pool.map_wait(lambda wi: wi[0].form_child(wi[1]), work)
+        frontier = children
+        tree.append(children)
+    return tree
+
+
+def _combine_tree(tree: list[list[_Node]], pool: WorkerPool) -> None:
+    for level in range(len(tree) - 2, -1, -1):
+        nodes = [nd for nd in tree[level] if nd.children]
+        pool.map_wait(lambda nd: nd.combine(), nodes)
+
+
+def _bfs_leaves(tree: list[list[_Node]]) -> list[_Node]:
+    leaves = [nd for nd in tree[-1]]
+    # nodes that stopped early (too small to split) are also leaves
+    for level in tree[:-1]:
+        leaves.extend(nd for nd in level if not nd.children)
+    return [nd for nd in leaves if nd.result is None]
+
+
+def _run_bfs(root: _Node, steps: int, pool: WorkerPool) -> np.ndarray:
+    tree = _expand_tree(root, steps, pool)
+    leaves = _bfs_leaves(tree)
+    with blas.blas_threads(1):  # one BLAS thread per task: pure task parallelism
+        pool.map_wait(lambda nd: nd.leaf_multiply(), leaves)
+    _combine_tree(tree, pool)
+    return root.result
+
+
+def _run_hybrid(
+    root: _Node,
+    steps: int,
+    pool: WorkerPool,
+    threads: int,
+    subgroup: int | None = None,
+) -> np.ndarray:
+    tree = _expand_tree(root, steps, pool)
+    leaves = _bfs_leaves(tree)
+    n_bfs = len(leaves) - (len(leaves) % threads)
+    bfs_part, dfs_part = leaves[:n_bfs], leaves[n_bfs:]
+    # 1) perfectly balanced BFS batch
+    if bfs_part:
+        with blas.blas_threads(1):
+            pool.map_wait(lambda nd: nd.leaf_multiply(), bfs_part)
+    # 2) remainder after an explicit barrier (paper's lock scheme): DFS
+    if dfs_part:
+        if subgroup is None:
+            with blas.blas_threads(threads):
+                for nd in dfs_part:
+                    nd.leaf_multiply()
+        else:
+            # Section 4.3 alternative: disjoint groups of P' threads
+            if threads % subgroup:
+                raise ValueError("subgroup size must divide thread count")
+            waves = threads // subgroup
+            with blas.blas_threads(subgroup):
+                for i in range(0, len(dfs_part), waves):
+                    pool.map_wait(
+                        lambda nd: nd.leaf_multiply(), dfs_part[i : i + waves]
+                    )
+    _combine_tree(tree, pool)
+    return root.result
+
+
+# =========================================================================
+# public entry point
+# =========================================================================
+def multiply_parallel(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm: FastAlgorithm,
+    steps: int = 1,
+    scheme: str = "hybrid",
+    pool: WorkerPool | None = None,
+    threads: int | None = None,
+    subgroup: int | None = None,
+) -> np.ndarray:
+    """Parallel fast multiply ``A @ B`` (Section 4).
+
+    ``scheme`` is one of ``dfs``, ``bfs``, ``hybrid``, ``hybrid-subgroup``;
+    ``threads`` defaults to the pool's worker count; ``subgroup`` is the
+    P' of the sub-group hybrid.
+    """
+    A = require_2d(A, "A")
+    B = require_2d(B, "B")
+    check_matmul_dims(A, B)
+    if scheme not in SCHEMES:
+        raise ValueError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
+    owns_pool = pool is None
+    pool = pool or WorkerPool(threads)
+    P = threads or pool.workers
+    try:
+        if scheme == "dfs":
+            return _dfs_recurse(A, B, algorithm, steps, pool, P)
+        root = _Node(A, B, 0, algorithm)
+        if scheme == "bfs":
+            return _run_bfs(root, steps, pool)
+        sg = subgroup if scheme == "hybrid-subgroup" else None
+        if scheme == "hybrid-subgroup" and sg is None:
+            sg = max(1, P // 2)
+        return _run_hybrid(root, steps, pool, P, subgroup=sg)
+    finally:
+        if owns_pool:
+            pool.shutdown()

@@ -1,0 +1,99 @@
+"""Scheduler tracing: quantify load (im)balance of the parallel schemes.
+
+The Figure-4 narrative hinges on *where the time goes*: BFS with Strassen
+spawns 7 leaf tasks, so with P=2 one worker draws 4 leaves and the other 3
+(or worse at deeper recursion), while HYBRID's BFS batch is a multiple of
+P by construction.  ``TracedPool`` records a (worker, start, stop, label)
+event per task so benchmarks and tests can compute per-worker busy time
+and the imbalance ratio directly instead of inferring it from totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Callable
+
+from repro.parallel.pool import WorkerPool
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskEvent:
+    worker: str
+    label: str
+    start: float
+    stop: float
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+@dataclasses.dataclass
+class Trace:
+    events: list[TaskEvent] = dataclasses.field(default_factory=list)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def per_worker_busy(self) -> dict[str, float]:
+        busy: dict[str, float] = {}
+        for ev in self.events:
+            busy[ev.worker] = busy.get(ev.worker, 0.0) + ev.duration
+        return busy
+
+    def imbalance(self) -> float:
+        """max worker busy time / mean worker busy time (1.0 = perfect)."""
+        busy = list(self.per_worker_busy().values())
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+    def makespan(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(e.stop for e in self.events) - min(e.start for e in self.events)
+
+    def total_task_time(self) -> float:
+        return sum(e.duration for e in self.events)
+
+    def by_label_prefix(self, prefix: str) -> "Trace":
+        return Trace([e for e in self.events if e.label.startswith(prefix)])
+
+
+class TracedPool(WorkerPool):
+    """WorkerPool that wraps every submitted task with timing capture.
+
+    Drop-in replacement: pass it as the ``pool`` argument of
+    ``multiply_parallel`` and read ``pool.trace`` afterwards.
+    """
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers)
+        self.trace = Trace()
+        self._lock = threading.Lock()
+        self._labels = threading.local()
+
+    def label(self, text: str) -> None:
+        """Set the label recorded for tasks submitted by this thread."""
+        self._labels.value = text
+
+    def _current_label(self) -> str:
+        return getattr(self._labels, "value", "task")
+
+    def submit(self, fn: Callable, *args, **kwargs):
+        label = self._current_label()
+
+        def wrapped(*a, **kw):
+            t0 = time.perf_counter()
+            try:
+                return fn(*a, **kw)
+            finally:
+                t1 = time.perf_counter()
+                ev = TaskEvent(threading.current_thread().name, label, t0, t1)
+                with self._lock:
+                    self.trace.events.append(ev)
+
+        return super().submit(wrapped, *args, **kwargs)

@@ -1,0 +1,23 @@
+"""Numerical search for fast algorithms (paper Section 2.3).
+
+``als`` implements regularized alternating least squares on the matmul
+tensor; ``sparsify`` recovers exact discrete solutions via Prop.-2.3
+transforms and rounding; ``driver`` is the seeded multi-start front end
+that produced the coefficient files in ``repro/algorithms/data/``.
+"""
+
+from repro.search.als import AlsOptions, AlsResult, als
+from repro.search.driver import SearchOutcome, search, save_outcome
+from repro.search.sparsify import discretize, normalize_columns, round_to_grid
+
+__all__ = [
+    "AlsOptions",
+    "AlsResult",
+    "als",
+    "SearchOutcome",
+    "search",
+    "save_outcome",
+    "discretize",
+    "normalize_columns",
+    "round_to_grid",
+]

@@ -1,0 +1,154 @@
+"""Alternating least squares search for fast algorithms (paper Section 2.3.2).
+
+Given the exact matmul tensor ``T_{<M,K,N>}`` and a target rank R, we seek
+factor matrices U, V, W with ``[[U,V,W]] ~= T``.  Each ALS sweep fixes two
+factors and solves a linear least-squares problem for the third; following
+Johnson & McLoughlin and Smirnov we add
+
+- Tikhonov regularization (annealed towards zero) against the
+  ill-conditioned subproblems the paper mentions,
+- an optional *discreteness attraction* term that pulls entries toward a
+  small grid (0, +-1/2, +-1, ...), Smirnov's Eq. (4-5) device for recovering
+  exact rational solutions,
+- periodic column rebalancing so no factor absorbs all the scale.
+
+The driver (``repro.search.driver``) wraps this in a seeded multi-start
+loop and hands near-converged solutions to ``repro.search.sparsify`` for
+exact rounding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import tensor as tz
+from repro.util.rng import default_rng
+
+
+@dataclasses.dataclass
+class AlsOptions:
+    """Tuning knobs for one ALS run."""
+
+    max_sweeps: int = 2000
+    tol: float = 1e-12  # relative residual declared converged
+    reg_init: float = 5e-2
+    reg_final: float = 1e-9
+    reg_decay: float = 0.985
+    attract: bool = True  # Smirnov-style pull toward discrete entries
+    attract_start: int = 200  # sweep at which attraction turns on
+    attract_weight: float = 2e-3
+    attract_grid: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0)
+    stall_sweeps: int = 250  # stop if no meaningful progress for this long
+    stall_rtol: float = 1e-4
+    init_scale: float = 0.5
+
+
+@dataclasses.dataclass
+class AlsResult:
+    U: np.ndarray
+    V: np.ndarray
+    W: np.ndarray
+    rel_residual: float
+    sweeps: int
+    converged: bool
+
+
+def _nearest_grid(X: np.ndarray, grid: tuple[float, ...]) -> np.ndarray:
+    """Round each entry to the nearest signed grid value (grid lists magnitudes)."""
+    vals = np.array(sorted({+g for g in grid} | {-g for g in grid}))
+    idx = np.argmin(np.abs(X[..., None] - vals), axis=-1)
+    return vals[idx]
+
+
+def _solve_factor(
+    unfolded: np.ndarray,
+    A: np.ndarray,
+    B: np.ndarray,
+    reg: float,
+    attract_weight: float,
+    target: np.ndarray | None,
+) -> np.ndarray:
+    """Regularized LS update of one factor.
+
+    ``unfolded`` is the tensor matricized along the factor's mode and
+    ``A, B`` are the other two factors ordered to match
+    ``khatri_rao(A, B)``.  Solves
+    ``min ||unfolded - F @ KR(A,B)^T||^2 + reg ||F||^2 + aw ||F - target||^2``.
+    """
+    G = (A.T @ A) * (B.T @ B)
+    rhs = unfolded @ tz.khatri_rao(A, B)
+    mu = reg + attract_weight
+    G = G + mu * np.eye(G.shape[0])
+    if target is not None and attract_weight > 0.0:
+        rhs = rhs + attract_weight * target
+    # G is symmetric positive definite after regularization
+    try:
+        cf = np.linalg.cholesky(G)
+        return np.linalg.solve(cf.T, np.linalg.solve(cf, rhs.T)).T
+    except np.linalg.LinAlgError:
+        return np.linalg.lstsq(G, rhs.T, rcond=None)[0].T
+
+
+def _rebalance(U: np.ndarray, V: np.ndarray, W: np.ndarray) -> None:
+    """Equalize per-column norms across the three factors (in place)."""
+    nu = np.linalg.norm(U, axis=0)
+    nv = np.linalg.norm(V, axis=0)
+    nw = np.linalg.norm(W, axis=0)
+    scale = np.cbrt(nu * nv * nw)
+    # guard dead columns
+    safe = lambda d: np.where(d > 1e-300, d, 1.0)  # noqa: E731
+    U *= (scale / safe(nu))[None, :]
+    V *= (scale / safe(nv))[None, :]
+    W *= (scale / safe(nw))[None, :]
+
+
+def als(
+    T: np.ndarray,
+    rank: int,
+    rng: np.random.Generator | int | None = None,
+    options: AlsOptions | None = None,
+    init: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> AlsResult:
+    """Run one ALS descent on tensor ``T`` at the given rank."""
+    opt = options or AlsOptions()
+    g = default_rng(rng)
+    I, J, K = T.shape
+    if init is not None:
+        U, V, W = (np.array(x, dtype=float) for x in init)
+    else:
+        U = opt.init_scale * g.standard_normal((I, rank))
+        V = opt.init_scale * g.standard_normal((J, rank))
+        W = opt.init_scale * g.standard_normal((K, rank))
+
+    T0 = tz.unfold(T, 0)
+    T1 = tz.unfold(T, 1)
+    T2 = tz.unfold(T, 2)
+    normT = float(np.linalg.norm(T.ravel()))
+
+    reg = opt.reg_init
+    best = np.inf
+    best_sweep = 0
+    rel = np.inf
+    sweep = 0
+    for sweep in range(1, opt.max_sweeps + 1):
+        aw = opt.attract_weight if (opt.attract and sweep >= opt.attract_start) else 0.0
+        tU = _nearest_grid(U, opt.attract_grid) if aw else None
+        U = _solve_factor(T0, V, W, reg, aw, tU)
+        tV = _nearest_grid(V, opt.attract_grid) if aw else None
+        V = _solve_factor(T1, U, W, reg, aw, tV)
+        tW = _nearest_grid(W, opt.attract_grid) if aw else None
+        W = _solve_factor(T2, U, V, reg, aw, tW)
+        _rebalance(U, V, W)
+        reg = max(opt.reg_final, reg * opt.reg_decay)
+
+        rel = tz.residual(T, U, V, W) / normT
+        if rel < opt.tol:
+            return AlsResult(U, V, W, rel, sweep, True)
+        if rel < best * (1.0 - opt.stall_rtol):
+            best = rel
+            best_sweep = sweep
+        elif sweep - best_sweep > opt.stall_sweeps:
+            break
+    return AlsResult(U, V, W, rel, sweep, rel < opt.tol)

@@ -1,0 +1,26 @@
+"""Shared utilities: RNG handling, block-matrix views, validation helpers."""
+
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.matrices import (
+    block_views,
+    flatten_blocks,
+    peel_split,
+    random_matrix,
+)
+from repro.util.validation import (
+    check_matmul_dims,
+    relative_error,
+    require_2d,
+)
+
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "block_views",
+    "flatten_blocks",
+    "peel_split",
+    "random_matrix",
+    "check_matmul_dims",
+    "relative_error",
+    "require_2d",
+]

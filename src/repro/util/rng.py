@@ -1,0 +1,36 @@
+"""Deterministic random-number handling.
+
+Everything in the library that needs randomness takes either a
+``numpy.random.Generator`` or an integer seed, so experiments and tests are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_SEED = 20150207  # PPoPP 2015 conference date
+
+
+def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a Generator.
+
+    ``None`` maps to the library-wide fixed seed (determinism by default);
+    an existing Generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(n: int, seed: int | None = None) -> list[np.random.Generator]:
+    """Return ``n`` statistically independent child generators.
+
+    Used by multi-start search drivers and parallel workload generators so
+    each start/worker gets its own stream while the whole run stays
+    reproducible from a single seed.
+    """
+    ss = np.random.SeedSequence(_DEFAULT_SEED if seed is None else seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

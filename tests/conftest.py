@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import classical, get_algorithm, strassen, winograd
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20150207)
+
+
+def catalog_names() -> list[str]:
+    """Every registry name expected to resolve in this repository."""
+    return [
+        "strassen", "winograd", "hk223", "hk224", "hk225",
+        "s233", "s234", "s244", "s333", "s334", "s344", "s336",
+        "classical222", "classical234",
+    ]
+
+
+def exact_catalog() -> list:
+    """All exact algorithms (APA excluded), for correctness sweeps."""
+    out = []
+    for name in catalog_names():
+        alg = get_algorithm(name)
+        if not alg.apa:
+            out.append(alg)
+    return out
+
+
+@pytest.fixture(scope="session")
+def all_exact_algorithms():
+    return exact_catalog()
+
+
+@pytest.fixture(scope="session")
+def strassen_alg():
+    return strassen()
+
+
+@pytest.fixture(scope="session")
+def winograd_alg():
+    return winograd()
+
+
+@pytest.fixture(scope="session")
+def classical222():
+    return classical(2, 2, 2)

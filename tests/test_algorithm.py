@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.algorithm.FastAlgorithm."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import classical, strassen, winograd
+from repro.core.algorithm import EXACT_TOL, FastAlgorithm
+
+
+class TestConstruction:
+    def test_shapes_enforced(self):
+        ok = strassen()
+        with pytest.raises(ValueError, match="U has"):
+            FastAlgorithm(3, 2, 2, ok.U, ok.V, ok.W)
+        with pytest.raises(ValueError, match="V has"):
+            FastAlgorithm(2, 2, 2, ok.U, ok.V[:3], ok.W)
+        with pytest.raises(ValueError, match="W has"):
+            FastAlgorithm(2, 2, 2, ok.U, ok.V, ok.W[:3])
+
+    def test_rank_mismatch(self):
+        ok = strassen()
+        with pytest.raises(ValueError, match="rank mismatch"):
+            FastAlgorithm(2, 2, 2, ok.U[:, :6], ok.V, ok.W)
+
+    def test_factors_immutable(self):
+        alg = strassen()
+        with pytest.raises(ValueError):
+            alg.U[0, 0] = 5.0
+
+    def test_dtype_coerced(self):
+        alg = FastAlgorithm(1, 1, 1, [[1]], [[1]], [[1]])
+        assert alg.U.dtype == np.float64
+
+
+class TestProperties:
+    def test_strassen_rank_and_exponent(self):
+        s = strassen()
+        assert s.rank == 7
+        assert s.classical_rank == 8
+        assert s.exponent == pytest.approx(math.log2(7), rel=1e-12)
+
+    def test_speedup_per_step_strassen(self):
+        # Table 2: <2,2,2> speedup 14%
+        assert strassen().multiplication_speedup_per_step == pytest.approx(1 / 7)
+
+    def test_speedup_per_step_classical_is_zero(self):
+        assert classical(2, 3, 4).multiplication_speedup_per_step == 0.0
+
+    def test_nnz_strassen(self):
+        # 12 + 12 + 12 nonzeros in the canonical Strassen factors
+        assert strassen().nnz() == (12, 12, 12)
+
+    def test_base_case(self):
+        assert classical(2, 3, 4).base_case == (2, 3, 4)
+
+    def test_repr_mentions_rank(self):
+        assert "rank=7" in repr(strassen())
+
+
+class TestValidation:
+    def test_strassen_exact(self):
+        assert strassen().residual() == pytest.approx(0.0, abs=1e-13)
+        assert strassen().check_exact()
+
+    def test_winograd_exact(self):
+        assert winograd().check_exact()
+
+    def test_validate_raises_on_broken(self):
+        s = strassen()
+        U = np.array(s.U)
+        U[0, 0] = 2.0
+        broken = FastAlgorithm(2, 2, 2, U, s.V, s.W, name="broken")
+        assert not broken.check_exact()
+        with pytest.raises(ValueError, match="residual"):
+            broken.validate()
+
+    def test_apa_validate_is_lenient(self):
+        s = strassen()
+        U = np.array(s.U)
+        U[0, 0] = 1.0 + 1e-5
+        apa = FastAlgorithm(2, 2, 2, U, s.V, s.W, name="apa-ish", apa=True)
+        apa.validate()  # must not raise
+
+    def test_exact_tol_sane(self):
+        assert 0 < EXACT_TOL < 1e-6
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        s = strassen()
+        path = tmp_path / "s.json"
+        s.save(path)
+        s2 = FastAlgorithm.load(path)
+        assert s2.base_case == s.base_case
+        assert s2.rank == s.rank
+        np.testing.assert_array_equal(s2.U, s.U)
+        np.testing.assert_array_equal(s2.V, s.V)
+        np.testing.assert_array_equal(s2.W, s.W)
+        assert not s2.apa
+
+    def test_dict_contents(self):
+        d = winograd().to_dict()
+        assert d["base_case"] == [2, 2, 2]
+        assert d["rank"] == 7
+        assert d["residual"] <= EXACT_TOL
+        json.dumps(d)  # serializable
+
+    def test_from_dict_defaults(self):
+        d = strassen().to_dict()
+        del d["name"]
+        alg = FastAlgorithm.from_dict(d)
+        assert alg.name == "unnamed"
+
+    def test_permutation_family_from_method(self):
+        fam = strassen().transposed_family()
+        assert set(fam) == {(2, 2, 2)}

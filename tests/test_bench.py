@@ -1,0 +1,180 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm, strassen
+from repro.bench import machine, metrics, workloads
+from repro.bench.runner import (
+    check_accuracy,
+    print_table,
+    run_parallel,
+    run_sequential,
+    speedup_over,
+    winners_by_workload,
+)
+
+
+class TestMetrics:
+    def test_effective_flops_equation3(self):
+        # 2PQR - PR
+        assert metrics.effective_flops(10, 20, 30) == 2 * 10 * 20 * 30 - 10 * 30
+
+    def test_effective_gflops(self):
+        gf = metrics.effective_gflops(1000, 1000, 1000, 1.0)
+        assert gf == pytest.approx((2e9 - 1e6) * 1e-9)
+
+    def test_median_time_positive(self):
+        t = metrics.median_time(lambda: sum(range(1000)), trials=3, warmup=1)
+        assert t > 0
+
+    def test_time_multiply(self):
+        A = np.random.rand(64, 64)
+        sec, gf = metrics.time_multiply(lambda a, b: a @ b, A, A, trials=2)
+        assert sec > 0 and gf > 0
+
+
+class TestWorkloads:
+    def test_square(self):
+        wl = workloads.square(32)
+        assert (wl.p, wl.q, wl.r) == (32, 32, 32)
+
+    def test_outer(self):
+        wl = workloads.outer(100, 16)
+        assert (wl.p, wl.q, wl.r) == (100, 16, 100)
+
+    def test_ts_square(self):
+        wl = workloads.ts_square(100, 24)
+        assert (wl.p, wl.q, wl.r) == (100, 24, 24)
+
+    def test_matrices_deterministic(self):
+        wl = workloads.square(16, seed=5)
+        A1, B1 = wl.matrices()
+        A2, B2 = wl.matrices()
+        np.testing.assert_array_equal(A1, A2)
+        np.testing.assert_array_equal(B1, B2)
+
+    def test_label(self):
+        assert workloads.outer(64, 16).label == "64x16x64"
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert workloads.scaled(100) == 50
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        assert workloads.scaled(100) == 8  # floor
+
+    def test_sweeps_nonempty(self):
+        assert workloads.fig5_square_sweep()
+        assert workloads.fig5_outer_sweep()
+        assert workloads.fig5_ts_sweep()
+        assert workloads.fig7_outer_sweep()
+        assert workloads.fig7_ts_sweep()
+
+
+class TestMachineModel:
+    def _curve(self):
+        # synthetic ramp-up: 50% at 64, 90% at 256, flat beyond
+        return machine.GemmCurve(
+            sizes=[32, 64, 128, 256, 512, 1024],
+            gflops=[5.0, 10.0, 16.0, 18.0, 19.5, 20.0],
+        )
+
+    def test_interpolation(self):
+        c = self._curve()
+        assert c.at(32) == 5.0
+        assert c.at(48) == pytest.approx(7.5)
+        assert c.at(4096) == 20.0  # clamped
+
+    def test_peak_and_flat(self):
+        c = self._curve()
+        assert c.peak == 20.0
+        assert c.flat_size(0.9) == 256
+
+    def test_should_recurse_on_flat_part(self):
+        c = self._curve()
+        # 1024 -> 512: drop 20/19.5 - 1 ~= 2.6% < Strassen's 14%: recurse
+        assert machine.should_recurse(c, 1024, 2, 1 / 7)
+
+    def test_should_not_recurse_on_ramp(self):
+        c = self._curve()
+        # 128 -> 64: drop 16/10 - 1 = 60% > 14%: do not recurse
+        assert not machine.should_recurse(c, 128, 2, 1 / 7)
+
+    def test_recommended_steps(self):
+        c = self._curve()
+        s = machine.recommended_steps(c, 2048, 2, 1 / 7, max_steps=3)
+        assert 1 <= s <= 3
+        assert machine.recommended_steps(c, 64, 2, 1 / 7) == 0
+
+    def test_measure_gemm_curve_real(self):
+        c = machine.measure_gemm_curve([32, 64], threads=1, trials=1)
+        assert len(c.gflops) == 2 and all(g > 0 for g in c.gflops)
+
+    def test_measure_shapes(self):
+        c = machine.measure_gemm_curve([48], threads=1, shape="outer",
+                                       fixed=16, trials=1)
+        assert c.shape == "outer"
+        c = machine.measure_gemm_curve([48], threads=1, shape="ts",
+                                       fixed=16, trials=1)
+        assert len(c.gflops) == 1
+
+    def test_measure_bad_shape(self):
+        with pytest.raises(ValueError):
+            machine.measure_gemm_curve([32], shape="diag", trials=1)
+
+
+class TestRunner:
+    def _algs(self):
+        return {"dgemm": None, "strassen": strassen()}
+
+    def test_run_sequential_rows(self):
+        rows = run_sequential(
+            self._algs(), [workloads.square(96)], step_options=(1,),
+            trials=1, quiet=True,
+        )
+        assert len(rows) == 2
+        assert {r.algorithm for r in rows} == {"dgemm", "strassen"}
+        assert all(r.gflops > 0 for r in rows)
+
+    def test_run_parallel_rows(self):
+        rows = run_parallel(
+            self._algs(), [workloads.square(96)], cores=2,
+            schemes=("hybrid",), step_options=(1,), trials=1, quiet=True,
+        )
+        assert len(rows) == 2
+        assert all(r.gflops > 0 for r in rows)
+
+    def test_winners(self):
+        rows = run_sequential(
+            self._algs(), [workloads.square(64)], step_options=(1,),
+            trials=1, quiet=True,
+        )
+        w = winners_by_workload(rows)
+        assert set(w) == {"64x64x64"}
+        assert w["64x64x64"] in ("dgemm", "strassen")
+
+    def test_speedup_over(self):
+        rows = run_sequential(
+            self._algs(), [workloads.square(64)], step_options=(1,),
+            trials=1, quiet=True,
+        )
+        sp = speedup_over(rows, "dgemm")
+        assert ("strassen", "64x64x64") in sp
+        assert sp[("strassen", "64x64x64")] > 0
+
+    def test_check_accuracy_flags_apa(self):
+        errs = check_accuracy(
+            {"strassen": strassen(), "bini": get_algorithm("bini322")},
+            workloads.square(36),
+        )
+        assert errs["strassen"] < 1e-10
+        assert errs["bini"] > 1e-10
+
+    def test_print_table_output(self, capsys):
+        rows = run_sequential(
+            self._algs(), [workloads.square(48)], step_options=(1,),
+            trials=1, quiet=True,
+        )
+        print_table(rows, title="unit test")
+        out = capsys.readouterr().out
+        assert "unit test" in out and "strassen" in out

@@ -1,0 +1,117 @@
+"""Tests for the algorithm registry (repro.algorithms.catalog)."""
+
+import pytest
+
+from repro.algorithms import by_base_case, get_algorithm, table2
+from repro.algorithms.catalog import PAPER_TABLE2, PAPER_TABLE2_APA, refresh_cache
+
+
+class TestGetAlgorithm:
+    @pytest.mark.parametrize("name,base,rank", [
+        ("strassen", (2, 2, 2), 7),
+        ("winograd", (2, 2, 2), 7),
+        ("hk223", (2, 2, 3), 11),
+        ("hk224", (2, 2, 4), 14),
+        ("hk225", (2, 2, 5), 18),
+        ("classical232", (2, 3, 2), 12),
+    ])
+    def test_named(self, name, base, rank):
+        alg = get_algorithm(name)
+        assert alg.base_case == base
+        assert alg.rank == rank
+
+    def test_permutation_names(self):
+        assert get_algorithm("s424").base_case == (4, 2, 4)
+        assert get_algorithm("s432").base_case == (4, 3, 2)
+        assert get_algorithm("s522").base_case == (5, 2, 2)
+        assert get_algorithm("s633").base_case == (6, 3, 3)
+
+    def test_permutation_rank_preserved(self):
+        assert get_algorithm("s424").rank == get_algorithm("s244").rank
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_algorithm("not-an-algorithm")
+
+    def test_bad_classical_name(self):
+        with pytest.raises(KeyError):
+            get_algorithm("classical22")
+
+    def test_caching_returns_same_object(self):
+        assert get_algorithm("strassen") is get_algorithm("strassen")
+
+    def test_refresh_cache(self):
+        a = get_algorithm("strassen")
+        refresh_cache()
+        b = get_algorithm("strassen")
+        assert a is not b
+        assert a.rank == b.rank
+
+
+class TestByBaseCase:
+    def test_exact_base(self):
+        alg = by_base_case(2, 3, 3)
+        assert alg.base_case == (2, 3, 3)
+        assert alg.rank == 15
+
+    def test_permuted_base(self):
+        alg = by_base_case(3, 3, 2)
+        assert alg.base_case == (3, 3, 2)
+        assert alg.rank == 15
+
+    def test_falls_back_to_classical(self):
+        alg = by_base_case(7, 7, 7)
+        assert alg.rank == 343
+
+    def test_apa_excluded_by_default(self):
+        alg = by_base_case(3, 2, 2)
+        assert not alg.apa
+        assert alg.rank == 11  # exact <2,2,3> permutation, not Bini's 10
+
+    def test_apa_included_on_request(self):
+        alg = by_base_case(3, 2, 2, include_apa=True)
+        assert alg.rank == 10  # Bini-rank APA wins on rank
+
+    def test_picks_minimum_rank(self):
+        # <2,2,2>: strassen (7) must beat winograd only on tie... both 7;
+        # ensure rank is 7 and not the classical 8
+        assert by_base_case(2, 2, 2).rank == 7
+
+
+class TestTable2:
+    def test_all_rows_valid(self):
+        rows = table2()
+        assert len(rows) >= 12
+        for e in rows:
+            assert e.rank >= 1
+            if not e.apa:
+                assert e.rank <= e.classical_rank
+
+    def test_paper_rank_achieved_for_searched(self):
+        """Every base case our search campaign solved must sit at the
+        paper's Table-2 rank."""
+        achieved = {e.base_case: e for e in table2() if not e.apa}
+        for bc in [(2, 2, 2), (2, 2, 3), (2, 2, 4), (2, 2, 5),
+                   (2, 3, 3), (2, 3, 4), (2, 4, 4), (3, 3, 3)]:
+            assert achieved[bc].rank == PAPER_TABLE2[bc][0], bc
+
+    def test_fallback_ranks_close_to_paper(self):
+        """Composed fallbacks may exceed the paper rank, but only modestly
+        (documented in EXPERIMENTS.md)."""
+        for e in table2():
+            if e.paper_rank is not None and not e.apa:
+                assert e.rank <= e.paper_rank + 6
+
+    def test_speedup_column_consistent(self):
+        for e in table2():
+            expected = e.classical_rank / e.rank - 1.0
+            assert e.speedup_per_step == pytest.approx(expected)
+
+    def test_provenance_values(self):
+        provs = {e.provenance for e in table2()}
+        assert "literal (paper)" in provs
+        assert "ALS search (this repo)" in provs
+
+    def test_paper_tables_complete(self):
+        assert len(PAPER_TABLE2) == 11
+        assert PAPER_TABLE2_APA[(3, 2, 2)] == 10

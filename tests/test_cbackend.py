@@ -1,0 +1,165 @@
+"""Tests for the native-C chain backend (``repro.codegen.cbackend``).
+
+The C backend must agree with the Python interpreter and the classical
+product for every algorithm, strategy-equivalent configuration, recursion
+depth and awkward (peeled) shape — it is the same algorithm, only the
+addition chains run as fused compiled loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.codegen import cbackend, compile_algorithm
+from repro.core.recursion import multiply as multiply_reference
+
+pytestmark = pytest.mark.skipif(
+    not cbackend.available(), reason="no working C compiler on this machine"
+)
+
+RNG = np.random.default_rng(33)
+ALGOS = ["strassen", "winograd", "hk223", "hk224", "s233", "s333", "s424"]
+
+
+def _rand(p, q):
+    return RNG.standard_normal((p, q))
+
+
+# ----------------------------------------------------------- source level
+class TestSourceGeneration:
+    def test_source_compiles_and_exports(self):
+        cc = cbackend.compile_chains("strassen")
+        for fn in ("form_S", "form_T", "form_C"):
+            assert hasattr(cc.lib, fn)
+
+    def test_source_is_deterministic(self):
+        alg = get_algorithm("strassen")
+        assert (cbackend.generate_c_source(alg)
+                == cbackend.generate_c_source(alg))
+
+    def test_source_mentions_algorithm(self):
+        alg = get_algorithm("s424")
+        src = cbackend.generate_c_source(alg)
+        assert "<4,2,4>" in src and "rank 26" in src
+
+    def test_unit_coefficients_have_no_multiply(self):
+        # Strassen is all +-1: the emitted chain arithmetic (the `[j] = ...`
+        # assignment lines) must be pure add/subtract, no scalar multiplies
+        src = cbackend.generate_c_source(get_algorithm("strassen"))
+        rhs_lines = [ln.split("=", 1)[1] for ln in src.splitlines()
+                     if "[j] =" in ln]
+        assert rhs_lines, "no chain assignments emitted"
+        assert all("*" not in rhs for rhs in rhs_lines)
+
+    def test_cse_reduces_loop_count_or_matches(self):
+        alg = get_algorithm("s333")
+        plain = cbackend.generate_c_source(alg, cse=False)
+        with_cse = cbackend.generate_c_source(alg, cse=True)
+        # CSE introduces definition buffers: slab rows must not shrink
+        assert "defs first: 0/0" in plain
+        assert "defs first: 0/0" not in with_cse
+
+    def test_compile_cache_reuses_library(self):
+        a = cbackend.compile_chains("strassen")
+        b = cbackend.compile_chains("strassen")
+        assert a is b  # lru-cached wrapper
+
+    def test_source_cache_by_content(self):
+        alg = get_algorithm("strassen")
+        lib1 = cbackend._compile_source(cbackend.generate_c_source(alg))
+        lib2 = cbackend._compile_source(cbackend.generate_c_source(alg))
+        assert lib1 is lib2
+
+
+# ------------------------------------------------------------ correctness
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ALGOS)
+    def test_exact_one_step(self, name):
+        alg = get_algorithm(name)
+        m, k, n = alg.base_case
+        A, B = _rand(8 * m, 8 * k), _rand(8 * k, 8 * n)
+        C = cbackend.multiply(A, B, name, steps=1)
+        np.testing.assert_allclose(C, A @ B, rtol=0, atol=1e-10 * np.abs(A @ B).max())
+
+    @pytest.mark.parametrize("name", ["strassen", "s333", "s424"])
+    @pytest.mark.parametrize("steps", [1, 2, 3])
+    def test_depths(self, name, steps):
+        alg = get_algorithm(name)
+        m, k, n = alg.base_case
+        s = max(m, k, n) ** steps
+        A, B = _rand(2 * s, s), _rand(s, 3 * s)
+        C = cbackend.multiply(A, B, name, steps=steps)
+        np.testing.assert_allclose(C, A @ B, atol=1e-9)
+
+    @pytest.mark.parametrize("shape", [(63, 61, 59), (17, 31, 13), (100, 7, 100)])
+    def test_peeled_shapes(self, shape):
+        p, q, r = shape
+        A, B = _rand(p, q), _rand(q, r)
+        C = cbackend.multiply(A, B, "strassen", steps=2)
+        np.testing.assert_allclose(C, A @ B, atol=1e-10)
+
+    @pytest.mark.parametrize("name", ["strassen", "s333", "hk223"])
+    def test_cse_variant_agrees_with_plain(self, name):
+        alg = get_algorithm(name)
+        m, k, n = alg.base_case
+        A, B = _rand(12 * m, 12 * k), _rand(12 * k, 12 * n)
+        plain = cbackend.multiply(A, B, name, steps=1, cse=False)
+        fused = cbackend.multiply(A, B, name, steps=1, cse=True)
+        np.testing.assert_allclose(plain, fused, atol=1e-11)
+
+    def test_matches_interpreter_and_codegen(self):
+        alg = get_algorithm("s424")
+        A, B = _rand(160, 80), _rand(80, 160)
+        ref = multiply_reference(A, B, alg, steps=2)
+        gen = compile_algorithm(alg)(A, B, steps=2)
+        nat = cbackend.multiply(A, B, "s424", steps=2)
+        np.testing.assert_allclose(nat, ref, atol=1e-10)
+        np.testing.assert_allclose(nat, gen, atol=1e-10)
+
+    def test_small_matrix_falls_back_to_dot(self):
+        A, B = _rand(1, 1), _rand(1, 1)
+        C = cbackend.multiply(A, B, "strassen", steps=1)
+        np.testing.assert_allclose(C, A @ B)
+
+    def test_accepts_fortran_and_integer_input(self):
+        A = np.asfortranarray(RNG.integers(0, 5, (32, 32)))
+        B = RNG.integers(0, 5, (32, 32))
+        C = cbackend.multiply(A, B, "strassen", steps=1)
+        np.testing.assert_allclose(C, A @ B)
+
+    def test_explicit_algorithm_object(self):
+        alg = get_algorithm("winograd")
+        cc = cbackend.CompiledChains(alg)
+        A, B = _rand(64, 64), _rand(64, 64)
+        np.testing.assert_allclose(cc(A, B, steps=2), A @ B, atol=1e-10)
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            cbackend.multiply(_rand(4, 5), _rand(6, 4), "strassen")
+
+
+# ---------------------------------------------------------------- aliases
+class TestAliasHandling:
+    def test_aliased_chains_are_views_not_copies(self):
+        # Strassen has S3=A11, S4=A22, T2=B11, T5=B22: the slab must hold
+        # strictly fewer rows than the rank
+        cc = cbackend.compile_chains("strassen")
+        assert cc._s["slots"] < cc.algorithm.rank
+        assert cc._t["slots"] < cc.algorithm.rank
+        aliases = [lay for lay in cc._s["layout"] if lay[0] == "alias"]
+        assert len(aliases) >= 2
+
+    def test_slab_layout_consistent_with_source(self):
+        cc = cbackend.compile_chains("strassen")
+        assert f"S={cc._s['slots']}" in cc.source
+        assert f"T={cc._t['slots']}" in cc.source
+
+
+class TestCompilerGating:
+    def test_available_is_cached_bool(self):
+        assert isinstance(cbackend.available(), bool)
+
+    def test_missing_compiler_raises_cleanly(self, monkeypatch):
+        monkeypatch.setattr(cbackend, "available", lambda: False)
+        with pytest.raises(RuntimeError, match="no working C compiler"):
+            cbackend.compile_chains("strassen")

@@ -1,0 +1,153 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import _build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    args = _build_parser().parse_args(list(argv))
+    from repro import cli
+
+    handler = {
+        "list": cli.cmd_list,
+        "verify": cli.cmd_verify,
+        "multiply": cli.cmd_multiply,
+        "codegen": cli.cmd_codegen,
+        "search": cli.cmd_search,
+    }[args.command]
+    rc = handler(args, out=out)
+    return rc, out.getvalue()
+
+
+class TestList:
+    def test_contains_core_rows(self):
+        rc, text = run_cli("list")
+        assert rc == 0
+        for name in ("strassen", "winograd", "hk223", "s333"):
+            assert name in text
+        assert "APA" not in text  # hidden by default
+
+    def test_apa_flag_adds_apa_rows(self):
+        rc, text = run_cli("list", "--apa")
+        assert rc == 0
+        assert "bini322" in text and "schonhage333" in text
+
+    def test_paper_rank_column_present(self):
+        rc, text = run_cli("list")
+        # the three documented fallbacks show paper rank != achieved rank
+        row = next(ln for ln in text.splitlines() if ln.strip().startswith("s334"))
+        assert " 30 " in row and " 29 " in row
+
+
+class TestVerify:
+    def test_all_catalog_entries_verify(self):
+        rc, text = run_cli("verify")
+        assert rc == 0
+        assert "0 failures" in text
+
+    def test_selected_names(self):
+        rc, text = run_cli("verify", "strassen", "s333")
+        assert rc == 0
+        assert "strassen" in text and "s333" in text
+        assert "2 checked" in text
+
+    def test_exact_entries_report_tiny_residual(self):
+        rc, text = run_cli("verify", "strassen")
+        line = text.splitlines()[0]
+        assert "ok" in line
+
+
+class TestMultiply:
+    def test_small_multiply_reports_speedup_and_error(self):
+        rc, text = run_cli("multiply", "-a", "strassen", "-n", "96",
+                           "-s", "1", "--trials", "1")
+        assert rc == 0
+        assert "eff.GFLOPS" in text and "rel.err" in text
+
+    def test_rectangular_shape(self):
+        rc, text = run_cli("multiply", "-a", "s424", "--shape", "64", "32",
+                           "64", "--trials", "1")
+        assert rc == 0
+        assert "64x32x64" in text
+
+    def test_parallel_path(self):
+        rc, text = run_cli("multiply", "-a", "strassen", "-n", "96",
+                           "--parallel", "--scheme", "bfs", "--threads", "2",
+                           "--trials", "1")
+        assert rc == 0
+        assert "bfs" in text
+
+    def test_native_path(self):
+        from repro.codegen import cbackend
+
+        if not cbackend.available():
+            pytest.skip("no C compiler")
+        rc, text = run_cli("multiply", "-a", "strassen", "-n", "96",
+                           "--native", "--trials", "1")
+        assert rc == 0
+        assert "native chains" in text
+
+    def test_blas_threads_option(self):
+        rc, text = run_cli("multiply", "-a", "strassen", "-n", "64",
+                           "--trials", "1", "--blas-threads", "1")
+        assert rc == 0
+
+
+class TestCodegen:
+    def test_python_source(self):
+        rc, text = run_cli("codegen", "-a", "strassen")
+        assert rc == 0
+        assert "Auto-generated fast matrix multiplication" in text
+        assert "write_once" in text
+
+    def test_strategy_and_cse_flags(self):
+        rc, text = run_cli("codegen", "-a", "s333", "--strategy", "pairwise",
+                           "--cse")
+        assert rc == 0
+        assert "pairwise" in text and "cse=True" in text
+
+    def test_c_source(self):
+        rc, text = run_cli("codegen", "-a", "strassen", "--c")
+        assert rc == 0
+        assert "form_S" in text and "#include" in text
+
+
+class TestSearchPassthrough:
+    def test_forwards_to_driver(self, tmp_path):
+        out = tmp_path / "t212.json"
+        rc = main(["search", "--base", "2", "1", "2", "--rank", "4",
+                   "--starts", "4", "--out", str(out), "--quiet"])
+        assert rc == 0
+        assert out.exists()
+
+
+class TestProcessLevel:
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "strassen" in proc.stdout
+
+    def test_help_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "multiply" in proc.stdout
+
+    def test_unknown_command_fails(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "frobnicate"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode != 0

@@ -1,0 +1,58 @@
+"""Tests for the search driver CLI (python -m repro.search.driver)."""
+
+import json
+
+import pytest
+
+from repro.core.algorithm import FastAlgorithm
+from repro.search.driver import main
+
+
+class TestCli:
+    def test_trivial_target_end_to_end(self, tmp_path):
+        out = tmp_path / "t.json"
+        rc = main([
+            "--base", "1", "1", "2", "--rank", "2", "--starts", "3",
+            "--seed", "1", "--sweeps", "300", "--quiet",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        d = json.loads(out.read_text())
+        assert d["base_case"] == [1, 1, 2]
+        alg = FastAlgorithm.from_dict(d)
+        assert alg.rank == 2
+
+    def test_deadline_flag(self, tmp_path):
+        out = tmp_path / "d.json"
+        rc = main([
+            "--base", "2", "2", "2", "--rank", "7", "--starts", "10000",
+            "--seed", "2", "--sweeps", "400", "--deadline", "5",
+            "--quiet", "--out", str(out),
+        ])
+        # either found quickly or saved best-so-far within the deadline
+        assert rc == 0
+        assert out.exists()
+
+    def test_accept_threshold_apa_mode(self, tmp_path):
+        """With an unreachable accept threshold the driver stores the best
+        plateau (APA-style outcome)."""
+        out = tmp_path / "a.json"
+        rc = main([
+            "--base", "2", "2", "2", "--rank", "5", "--starts", "2",
+            "--seed", "3", "--sweeps", "150", "--accept", "1e-14",
+            "--quiet", "--out", str(out),
+        ])
+        assert rc == 0
+        d = json.loads(out.read_text())
+        assert d["apa"] is True
+        assert d["rel_residual"] > 1e-6
+
+    def test_output_metadata_fields(self, tmp_path):
+        out = tmp_path / "m.json"
+        main([
+            "--base", "1", "2", "1", "--rank", "2", "--starts", "2",
+            "--seed", "4", "--sweeps", "200", "--quiet", "--out", str(out),
+        ])
+        d = json.loads(out.read_text())
+        for key in ("rank", "seed", "starts_used", "provenance", "rel_residual"):
+            assert key in d

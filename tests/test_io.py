@@ -1,0 +1,124 @@
+"""Tests for the fast-matmul text-format interop (repro.algorithms.io)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm, strassen
+from repro.algorithms.io import (
+    _parse_entry,
+    read_fast_matmul,
+    roundtrip_equal,
+    write_fast_matmul,
+)
+
+
+class TestEntryGrammar:
+    def test_integers_and_rationals(self):
+        assert _parse_entry("1", 0.1) == 1.0
+        assert _parse_entry("-1", 0.1) == -1.0
+        assert _parse_entry("1/2", 0.1) == 0.5
+        assert _parse_entry("-3/4", 0.1) == -0.75
+        assert _parse_entry("0", 0.1) == 0.0
+
+    def test_apa_placeholder(self):
+        lam = 1e-3
+        assert _parse_entry("x", lam) == pytest.approx(lam)
+        assert _parse_entry("-x", lam) == pytest.approx(-lam)
+        assert _parse_entry("1/x", lam) == pytest.approx(1 / lam)
+        assert _parse_entry("-1/x", lam) == pytest.approx(-1 / lam)
+        assert _parse_entry("2x", lam) == pytest.approx(2 * lam)
+
+    def test_bad_tokens(self):
+        with pytest.raises(ValueError):
+            _parse_entry("", 0.1)
+        with pytest.raises(ValueError):
+            _parse_entry("xx/", 0.1)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", ["strassen", "winograd", "hk223", "s333"])
+    def test_write_read_exact(self, tmp_path, name):
+        alg = get_algorithm(name)
+        p = tmp_path / f"{name}.txt"
+        write_fast_matmul(alg, p)
+        back = read_fast_matmul(p)
+        assert roundtrip_equal(alg, back)
+        assert not back.apa
+        back.validate()
+
+    def test_float_entries_roundtrip(self, tmp_path):
+        alg = get_algorithm("s244")  # dense float factors
+        p = tmp_path / "s244.txt"
+        write_fast_matmul(alg, p)
+        back = read_fast_matmul(p)
+        assert back.base_case == (2, 4, 4)
+        assert back.rank == 26
+        # float factors survive within print precision
+        assert np.allclose(back.U, alg.U, atol=1e-9)
+
+    def test_read_marks_apa_when_inexact(self, tmp_path):
+        s = strassen()
+        U = np.array(s.U)
+        U[0, 0] = 0.9  # break exactness
+        broken = type(s)(2, 2, 2, U, s.V, s.W, name="broken", apa=True)
+        p = tmp_path / "broken.txt"
+        write_fast_matmul(broken, p)
+        back = read_fast_matmul(p)
+        assert back.apa
+
+
+class TestFileFormat:
+    def test_header_and_blocks(self, tmp_path):
+        p = tmp_path / "s.txt"
+        write_fast_matmul(strassen(), p)
+        text = p.read_text()
+        assert text.splitlines()[0] == "2,2,2,7"
+        # 3 blank-separated factor blocks
+        assert text.count("\n\n") >= 2
+
+    def test_comments_ignored(self, tmp_path):
+        p = tmp_path / "c.txt"
+        write_fast_matmul(strassen(), p)
+        p.write_text("# a comment\n" + p.read_text())
+        back = read_fast_matmul(p)
+        assert back.rank == 7
+
+    def test_apa_file_instantiates_at_lambda(self, tmp_path):
+        """Hand-written Bini-style file with x placeholders."""
+        content = """1,1,1,1
+
+x
+
+1/x
+
+1
+"""
+        p = tmp_path / "apa.txt"
+        p.write_text(content)
+        alg = read_fast_matmul(p, lam=1e-2)
+        # U*V*W = x * (1/x) * 1 = 1: exact for <1,1,1>
+        assert alg.check_exact()
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("2,2,2\n\n1 1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_fast_matmul(p)
+
+    def test_wrong_block_count(self, tmp_path):
+        p = tmp_path / "bad2.txt"
+        p.write_text("1,1,1,1\n\n1\n\n1\n")
+        with pytest.raises(ValueError, match="3 factor blocks"):
+            read_fast_matmul(p)
+
+    def test_wrong_shape(self, tmp_path):
+        p = tmp_path / "bad3.txt"
+        p.write_text("2,2,2,7\n\n1 1\n\n1 1\n\n1 1\n")
+        with pytest.raises(ValueError, match="shape"):
+            read_fast_matmul(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("\n\n")
+        with pytest.raises(ValueError, match="empty"):
+            read_fast_matmul(p)

@@ -1,0 +1,508 @@
+"""Unit tests for ``repro.linalg`` — fast matmul inside dense factorizations.
+
+Covers the §6-extension routines: kernel routing, TRSM in all flag
+combinations, blocked pivoted LU, blocked Cholesky, triangular/general
+inversion, Newton–Schulz, and matrix powers — each against the vendor
+reference, with both classical and fast kernels.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.algorithms import get_algorithm
+from repro.linalg import (
+    MatmulKernel,
+    cholesky,
+    count_walks,
+    inv,
+    invert_triangular,
+    lu_factor,
+    lu_reconstruct,
+    lu_solve,
+    matrix_power,
+    newton_schulz,
+    solve_triangular,
+)
+from repro.linalg.cholesky import cholesky_error
+from repro.linalg.lu import _apply_pivots, lu_error, scipy_reference
+
+RNG = np.random.default_rng(20150207)
+
+
+def _well_conditioned(n, rng=RNG):
+    """Random matrix with singular values in [1, 2] (safe to invert)."""
+    Q1, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    Q2, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    s = np.linspace(1.0, 2.0, n)
+    return Q1 @ np.diag(s) @ Q2
+
+
+def _spd(n, rng=RNG):
+    X = rng.standard_normal((n, n))
+    return X @ X.T + n * np.eye(n)
+
+
+# fast kernel used across the file: Strassen with a low engage threshold
+# so that the small test problems actually exercise the fast path.
+def fast_kernel(**kw):
+    kw.setdefault("algorithm", "strassen")
+    kw.setdefault("steps", 2)
+    kw.setdefault("min_dim", 32)
+    return MatmulKernel(**kw)
+
+
+# ---------------------------------------------------------------- kernels
+class TestMatmulKernel:
+    def test_default_is_blas(self):
+        k = MatmulKernel()
+        assert not k.is_fast
+        A, B = RNG.standard_normal((40, 30)), RNG.standard_normal((30, 50))
+        np.testing.assert_allclose(k(A, B), A @ B, rtol=1e-13)
+
+    def test_name_resolution(self):
+        k = MatmulKernel(algorithm="strassen")
+        assert k.is_fast
+        assert k.algorithm.base_case == (2, 2, 2)
+
+    def test_explicit_algorithm_object(self):
+        alg = get_algorithm("strassen")
+        k = MatmulKernel(algorithm=alg, min_dim=16, steps=1)
+        A, B = RNG.standard_normal((64, 64)), RNG.standard_normal((64, 64))
+        np.testing.assert_allclose(k(A, B), A @ B, rtol=0, atol=1e-10)
+
+    def test_min_dim_guard_routes_small_to_blas(self):
+        k = fast_kernel(counting=True)
+        A, B = RNG.standard_normal((8, 8)), RNG.standard_normal((8, 8))
+        k(A, B)
+        assert k.calls[-1][3] == "blas"
+        A, B = RNG.standard_normal((64, 64)), RNG.standard_normal((64, 64))
+        k(A, B)
+        assert k.calls[-1][3] == "sequential"
+
+    def test_update_subtracts_in_place(self):
+        k = MatmulKernel()
+        C = RNG.standard_normal((20, 20))
+        C0 = C.copy()
+        A, B = RNG.standard_normal((20, 10)), RNG.standard_normal((10, 20))
+        out = k.update(C, A, B, alpha=-1.0)
+        assert out is C
+        np.testing.assert_allclose(C, C0 - A @ B, rtol=1e-13)
+
+    def test_update_into_view(self):
+        k = fast_kernel()
+        M = np.zeros((100, 100))
+        view = M[10:74, 20:84]
+        A, B = RNG.standard_normal((64, 32)), RNG.standard_normal((32, 64))
+        k.update(view, A, B, alpha=1.0)
+        np.testing.assert_allclose(M[10:74, 20:84], A @ B, atol=1e-10)
+        assert np.all(M[:10] == 0) and np.all(M[74:] == 0)
+
+    def test_update_general_alpha(self):
+        k = MatmulKernel()
+        C = np.ones((6, 6))
+        A = np.eye(6)
+        k.update(C, A, A, alpha=0.5)
+        np.testing.assert_allclose(C, np.ones((6, 6)) + 0.5 * np.eye(6))
+
+    def test_update_shape_mismatch_raises(self):
+        k = MatmulKernel()
+        with pytest.raises(ValueError, match="update shape mismatch"):
+            k.update(np.zeros((3, 3)), np.zeros((3, 2)), np.zeros((2, 4)))
+
+    def test_update_empty_inner_dim_is_noop(self):
+        k = MatmulKernel()
+        C = np.ones((4, 4))
+        k.update(C, np.zeros((4, 0)), np.zeros((0, 4)))
+        np.testing.assert_array_equal(C, np.ones((4, 4)))
+
+    def test_fast_fraction_accounting(self):
+        k = fast_kernel(counting=True)
+        big = RNG.standard_normal((128, 128))
+        small = RNG.standard_normal((8, 8))
+        k(big, big)
+        k(small, small)
+        frac = k.fast_fraction()
+        assert 0.99 < frac < 1.0  # big product dominates the flops
+        k.reset_counts()
+        assert k.fast_fraction() == 0.0
+
+    def test_parallel_route(self):
+        k = fast_kernel(parallel=True, scheme="bfs", threads=2)
+        A, B = RNG.standard_normal((96, 96)), RNG.standard_normal((96, 96))
+        np.testing.assert_allclose(k(A, B), A @ B, atol=1e-10)
+
+
+# ------------------------------------------------------------------- trsm
+class TestSolveTriangular:
+    @staticmethod
+    def _effective(T, lower, unit):
+        """The matrix TRSM actually solves with: referenced triangle only,
+        diagonal replaced by 1 under the unit flag."""
+        if unit:
+            strict = np.tril(T, -1) if lower else np.triu(T, 1)
+            return strict + np.eye(T.shape[0])
+        return np.tril(T) if lower else np.triu(T)
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    @pytest.mark.parametrize("lower", [True, False])
+    @pytest.mark.parametrize("trans", [True, False])
+    @pytest.mark.parametrize("unit", [True, False])
+    def test_all_flag_combinations(self, side, lower, trans, unit):
+        n, m = 70, 37
+        # well-conditioned for both flag readings: small strict triangle,
+        # O(1) diagonal (the unit flag replaces the diagonal by exactly 1)
+        T = 0.05 * np.tril(RNG.standard_normal((n, n)), -1) + np.diag(
+            RNG.uniform(1.0, 2.0, n)
+        )
+        if not lower:
+            T = T.T
+        B = RNG.standard_normal((n, m) if side == "left" else (m, n))
+        X = solve_triangular(T, B, side=side, lower=lower, trans=trans,
+                             unit_diagonal=unit, base_size=16)
+        op = self._effective(T, lower, unit)
+        op = op.T if trans else op
+        got = op @ X if side == "left" else X @ op
+        np.testing.assert_allclose(got, B, atol=1e-9)
+
+    def test_matches_scipy(self):
+        n = 150
+        T = np.tril(RNG.standard_normal((n, n))) + n * np.eye(n)
+        B = RNG.standard_normal((n, 20))
+        X = solve_triangular(T, B, base_size=32)
+        Xref = scipy.linalg.solve_triangular(T, B, lower=True)
+        np.testing.assert_allclose(X, Xref, atol=1e-10)
+
+    def test_fast_kernel_left_lower(self):
+        n = 256
+        T = np.tril(RNG.standard_normal((n, n))) + n * np.eye(n)
+        B = RNG.standard_normal((n, n))
+        X = solve_triangular(T, B, kernel=fast_kernel(), base_size=32)
+        np.testing.assert_allclose(T @ X, B, atol=1e-8)
+
+    def test_fast_kernel_right_upper(self):
+        n = 200
+        T = np.triu(RNG.standard_normal((n, n))) + n * np.eye(n)
+        B = RNG.standard_normal((64, n))
+        X = solve_triangular(T, B, side="right", lower=False,
+                             kernel=fast_kernel(), base_size=32)
+        np.testing.assert_allclose(X @ T, B, atol=1e-8)
+
+    def test_ignores_opposite_triangle(self):
+        n = 90
+        T = np.tril(RNG.standard_normal((n, n))) + n * np.eye(n)
+        garbage = T + np.triu(1e6 * RNG.standard_normal((n, n)), 1)
+        B = RNG.standard_normal((n, 5))
+        np.testing.assert_allclose(
+            solve_triangular(garbage, B, base_size=16),
+            solve_triangular(T, B, base_size=16),
+            atol=1e-10,
+        )
+
+    def test_unit_diagonal_ignores_stored_diagonal(self):
+        n = 50
+        T = np.tril(RNG.standard_normal((n, n)), -1) + np.diag(RNG.uniform(5, 9, n))
+        B = RNG.standard_normal((n, 3))
+        X = solve_triangular(T, B, unit_diagonal=True, base_size=8)
+        L = np.tril(T, -1) + np.eye(n)
+        np.testing.assert_allclose(L @ X, B, atol=1e-10)
+
+    def test_nonsquare_T_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            solve_triangular(np.zeros((3, 4)), np.zeros((3, 2)))
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            solve_triangular(np.eye(4), np.zeros((5, 2)))
+
+    def test_bad_side_raises(self):
+        with pytest.raises(ValueError, match="side"):
+            solve_triangular(np.eye(4), np.zeros((4, 2)), side="middle")
+
+    def test_empty_rhs(self):
+        X = solve_triangular(np.eye(4), np.zeros((4, 0)))
+        assert X.shape == (4, 0)
+
+    def test_does_not_modify_inputs(self):
+        T = np.tril(RNG.standard_normal((40, 40))) + 40 * np.eye(40)
+        B = RNG.standard_normal((40, 8))
+        T0, B0 = T.copy(), B.copy()
+        solve_triangular(T, B, base_size=8)
+        np.testing.assert_array_equal(T, T0)
+        np.testing.assert_array_equal(B, B0)
+
+
+# --------------------------------------------------------------------- lu
+class TestLU:
+    @pytest.mark.parametrize("n", [1, 7, 64, 130, 257])
+    def test_reconstruction_square(self, n):
+        A = _well_conditioned(max(n, 2))[:n, :n]
+        fac = lu_factor(A, block=32)
+        assert lu_error(A, fac) < 1e-12
+
+    @pytest.mark.parametrize("shape", [(80, 50), (50, 80), (129, 64)])
+    def test_rectangular(self, shape):
+        A = RNG.standard_normal(shape)
+        fac = lu_factor(A, block=24)
+        assert lu_error(A, fac) < 1e-12
+
+    def test_matches_scipy_packed_format(self):
+        A = _well_conditioned(96)
+        LU, piv = lu_factor(A, block=32)
+        LUs, pivs = scipy_reference(A)
+        # pivot sequences may differ on ties; compare reconstructions
+        assert lu_error(A, (LU, piv)) < 1e-12
+        assert lu_error(A, (LUs, pivs)) < 1e-12
+
+    def test_pivoting_actually_pivots(self):
+        # leading zero forces an immediate swap
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        LU, piv = lu_factor(A)
+        assert piv[0] == 1
+        assert lu_error(A, (LU, piv)) < 1e-15
+
+    def test_growth_controlled_on_graded_matrix(self):
+        # without pivoting this matrix explodes; with it the error stays tiny
+        n = 120
+        A = _well_conditioned(n)
+        A[0, 0] = 1e-14
+        fac = lu_factor(A, block=16)
+        assert lu_error(A, fac) < 1e-10
+
+    def test_fast_kernel_factorization(self):
+        n = 300
+        A = _well_conditioned(n)
+        k = fast_kernel(counting=True)
+        fac = lu_factor(A, kernel=k, block=64)
+        assert lu_error(A, fac) < 1e-10
+        # the trailing updates must dominate and go through the fast path
+        assert k.fast_fraction() > 0.5
+
+    def test_lu_solve_single_rhs(self):
+        A = _well_conditioned(100)
+        x = RNG.standard_normal(100)
+        b = A @ x
+        got = lu_solve(lu_factor(A, block=32), b)
+        assert got.shape == (100,)
+        np.testing.assert_allclose(got, x, atol=1e-9)
+
+    def test_lu_solve_multi_rhs_fast(self):
+        A = _well_conditioned(160)
+        X = RNG.standard_normal((160, 160))
+        B = A @ X
+        k = fast_kernel()
+        got = lu_solve(lu_factor(A, kernel=k, block=32), B, kernel=k)
+        np.testing.assert_allclose(got, X, atol=1e-8)
+
+    def test_lu_solve_requires_square(self):
+        fac = lu_factor(RNG.standard_normal((6, 4)))
+        with pytest.raises(ValueError, match="square"):
+            lu_solve(fac, np.zeros(6))
+
+    def test_apply_pivots_roundtrip(self):
+        B = RNG.standard_normal((9, 3))
+        piv = np.array([4, 1, 5, 3, 8, 7, 6, 7, 8])
+        P = _apply_pivots(B, piv)
+        back = _apply_pivots(P, piv, inverse=True)
+        np.testing.assert_array_equal(back, B)
+
+    def test_singular_matrix_flagged_by_zero_diagonal(self):
+        A = np.ones((8, 8))  # rank 1
+        LU, piv = lu_factor(A, block=4)
+        assert np.min(np.abs(np.diag(LU))) < 1e-12
+        assert lu_error(A, (LU, piv)) < 1e-12  # factorization still exact
+
+    def test_block_size_invariance(self):
+        A = _well_conditioned(140)
+        ref = lu_reconstruct(lu_factor(A, block=140))  # unblocked
+        for b in (8, 32, 64, 200):
+            np.testing.assert_allclose(
+                lu_reconstruct(lu_factor(A, block=b)), ref, atol=1e-11
+            )
+
+
+# --------------------------------------------------------------- cholesky
+class TestCholesky:
+    @pytest.mark.parametrize("n", [1, 5, 64, 129, 250])
+    def test_factorization(self, n):
+        A = _spd(n)
+        L = cholesky(A, block=32)
+        assert cholesky_error(A, L) < 1e-13
+        assert np.allclose(L, np.tril(L))
+
+    def test_matches_scipy(self):
+        A = _spd(100)
+        L = cholesky(A, block=24)
+        Lref = scipy.linalg.cholesky(A, lower=True)
+        np.testing.assert_allclose(L, Lref, atol=1e-10)
+
+    def test_only_lower_triangle_referenced(self):
+        A = _spd(80)
+        junk = A + np.triu(1e9 * np.ones((80, 80)), 1)
+        np.testing.assert_allclose(
+            cholesky(junk, block=16), cholesky(A, block=16), atol=1e-12
+        )
+
+    def test_fast_kernel(self):
+        A = _spd(320)
+        k = fast_kernel(counting=True)
+        L = cholesky(A, kernel=k, block=64)
+        assert cholesky_error(A, L) < 1e-11
+        assert k.fast_fraction() > 0.4
+
+    def test_syrk_blocks_variant_agrees(self):
+        A = _spd(200)
+        L_full = cholesky(A, block=48, use_syrk_blocks=False)
+        L_syrk = cholesky(A, block=48, use_syrk_blocks=True)
+        np.testing.assert_allclose(L_full, L_syrk, atol=1e-11)
+
+    def test_not_positive_definite_raises(self):
+        A = -np.eye(50)
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky(A, block=16)
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            cholesky(np.zeros((3, 4)))
+
+
+# ---------------------------------------------------------------- inverse
+class TestInverse:
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_invert_triangular(self, lower):
+        n = 180
+        T = np.tril(RNG.standard_normal((n, n))) + n * np.eye(n)
+        if not lower:
+            T = T.T
+        Tinv = invert_triangular(T, lower=lower, base_size=32)
+        np.testing.assert_allclose(T @ Tinv, np.eye(n), atol=1e-10)
+        # inverse of a triangular matrix is triangular of the same kind
+        off = np.triu(Tinv, 1) if lower else np.tril(Tinv, -1)
+        assert np.max(np.abs(off)) < 1e-12
+
+    def test_invert_triangular_fast_kernel(self):
+        n = 256
+        T = np.tril(RNG.standard_normal((n, n))) + n * np.eye(n)
+        k = fast_kernel(counting=True)
+        Tinv = invert_triangular(T, kernel=k, base_size=64)
+        np.testing.assert_allclose(T @ Tinv, np.eye(n), atol=1e-9)
+        assert k.fast_fraction() > 0.5
+
+    def test_unit_diagonal_triangular_inverse(self):
+        # small strict triangle keeps cond(L) modest (a dense N(0,1) unit
+        # triangular matrix has exponentially large inverse entries)
+        n = 96
+        L = 0.05 * np.tril(RNG.standard_normal((n, n)), -1) + np.eye(n)
+        Linv = invert_triangular(L, unit_diagonal=True, base_size=16)
+        np.testing.assert_allclose(L @ Linv, np.eye(n), atol=1e-11)
+
+    def test_general_inverse(self):
+        A = _well_conditioned(150)
+        Ainv = inv(A, block=32)
+        np.testing.assert_allclose(A @ Ainv, np.eye(150), atol=1e-9)
+
+    def test_general_inverse_fast(self):
+        A = _well_conditioned(200)
+        Ainv = inv(A, kernel=fast_kernel(), block=64)
+        np.testing.assert_allclose(Ainv, np.linalg.inv(A), atol=1e-8)
+
+    def test_newton_schulz_converges(self):
+        A = _well_conditioned(120)
+        X, hist = newton_schulz(A, iterations=60)
+        assert hist[-1] < 1e-12
+        # quadratic convergence: the tail drops fast
+        assert len(hist) < 30
+        np.testing.assert_allclose(X, np.linalg.inv(A), atol=1e-8)
+
+    def test_newton_schulz_fast_kernel_same_limit(self):
+        A = _well_conditioned(128)
+        X_ref, _ = newton_schulz(A)
+        X_fast, hist = newton_schulz(A, kernel=fast_kernel(min_dim=16))
+        assert hist[-1] < 1e-10
+        np.testing.assert_allclose(X_fast, X_ref, atol=1e-7)
+
+    def test_newton_schulz_history_monotone_tail(self):
+        A = _well_conditioned(64)
+        _, hist = newton_schulz(A, iterations=40)
+        # once contraction starts, every step improves
+        start = int(np.argmin(np.array(hist) > 0.5))
+        assert all(b < a for a, b in zip(hist[start:-1], hist[start + 1:]))
+
+    def test_inverse_nonsquare_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            inv(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match="square"):
+            invert_triangular(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match="square"):
+            newton_schulz(np.zeros((3, 5)))
+
+
+# ------------------------------------------------------------------ power
+class TestMatrixPower:
+    def test_power_zero_is_identity(self):
+        A = RNG.standard_normal((9, 9))
+        np.testing.assert_array_equal(matrix_power(A, 0), np.eye(9))
+
+    def test_power_one_copies(self):
+        A = RNG.standard_normal((9, 9))
+        P = matrix_power(A, 1)
+        np.testing.assert_allclose(P, A)
+        assert P is not A
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 13])
+    def test_matches_numpy(self, p):
+        A = RNG.standard_normal((20, 20)) / 5.0
+        np.testing.assert_allclose(
+            matrix_power(A, p), np.linalg.matrix_power(A, p), atol=1e-10
+        )
+
+    def test_fast_kernel_power(self):
+        A = RNG.standard_normal((96, 96)) / 10.0
+        got = matrix_power(A, 6, kernel=fast_kernel(min_dim=16))
+        np.testing.assert_allclose(got, np.linalg.matrix_power(A, 6), atol=1e-9)
+
+    def test_negative_exponent_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            matrix_power(np.eye(3), -1)
+
+    def test_walk_counts_cycle(self):
+        # directed 5-cycle: exactly one walk of length 5 returns to start
+        n = 5
+        A = np.zeros((n, n))
+        for i in range(n):
+            A[i, (i + 1) % n] = 1
+        W = count_walks(A, 5)
+        np.testing.assert_array_equal(W, np.eye(n, dtype=np.int64))
+
+    def test_walk_counts_match_bruteforce(self):
+        rng = np.random.default_rng(7)
+        A = (rng.uniform(size=(12, 12)) < 0.3).astype(float)
+        ref = np.linalg.matrix_power(A.astype(np.int64), 4)
+        W = count_walks(A, 4, kernel=fast_kernel(min_dim=4, steps=1))
+        np.testing.assert_array_equal(W, ref)
+
+    def test_walk_counts_networkx_graph(self):
+        nx = pytest.importorskip("networkx")
+        G = nx.erdos_renyi_graph(40, 0.15, seed=3)
+        A = nx.to_numpy_array(G)
+        ref = np.linalg.matrix_power(A.astype(np.int64), 3)
+        W = count_walks(A, 3, kernel=fast_kernel(min_dim=8))
+        np.testing.assert_array_equal(W, ref)
+        # triangle count = trace(A^3) / 6 — a classic identity
+        tri = int(np.trace(W)) // 6
+        assert tri == sum(nx.triangles(G).values()) // 3
+
+    def test_negative_adjacency_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            count_walks(-np.eye(3), 2)
+
+    def test_drift_guard_trips_on_bad_kernel(self):
+        # a kernel that corrupts products (APA-like) should be caught:
+        # for 6x6 all-ones, the corrupted A^3 entries land 36 + 7c, so
+        # c = 0.07 puts them 0.49 from the nearest integer (> 0.25 guard)
+        class Corrupt(MatmulKernel):
+            def __call__(self, A, B):
+                return super().__call__(A, B) + 0.07
+        A = np.ones((6, 6))
+        with pytest.raises(ValueError, match="not accurate enough"):
+            count_walks(A, 3, kernel=Corrupt())

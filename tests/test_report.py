@@ -1,0 +1,87 @@
+"""Tests for result rendering (repro.bench.report)."""
+
+import pytest
+
+from repro.bench.report import (
+    Series,
+    ascii_plot,
+    from_csv,
+    rows_to_series,
+    speedup_table,
+    to_csv,
+)
+from repro.bench.runner import ResultRow
+
+
+def _rows():
+    return [
+        ResultRow("dgemm", "512x512x512", 512, 0.010, 26.8, ""),
+        ResultRow("dgemm", "1024x1024x1024", 1024, 0.080, 26.8, ""),
+        ResultRow("strassen", "512x512x512", 512, 0.012, 22.4, "steps=1"),
+        ResultRow("strassen", "1024x1024x1024", 1024, 0.070, 30.7, "steps=2"),
+    ]
+
+
+class TestSeries:
+    def test_rows_to_series_grouping(self):
+        series = rows_to_series(_rows())
+        names = {s.name for s in series}
+        assert names == {"dgemm", "strassen"}
+        for s in series:
+            assert s.xs == [512.0, 1024.0]
+
+    def test_series_sorted_by_x(self):
+        rows = list(reversed(_rows()))
+        series = rows_to_series(rows)
+        for s in series:
+            assert s.xs == sorted(s.xs)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Series("x", [1, 2], [1.0])
+
+
+class TestAsciiPlot:
+    def test_plot_contains_legend_and_title(self):
+        txt = ascii_plot(rows_to_series(_rows()), title="Figure X")
+        assert "Figure X" in txt
+        assert "o=dgemm" in txt or "o=strassen" in txt
+        assert "eff. GFLOPS" in txt
+
+    def test_plot_empty(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_plot_single_point(self):
+        txt = ascii_plot([Series("a", [100.0], [5.0])])
+        assert "a" in txt
+
+    def test_plot_dimensions(self):
+        txt = ascii_plot(rows_to_series(_rows()), width=40, height=8)
+        # 8 grid rows + borders + header lines
+        assert len(txt.splitlines()) >= 10
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        p = tmp_path / "rows.csv"
+        to_csv(_rows(), p)
+        back = from_csv(p)
+        assert len(back) == 4
+        assert back[0].algorithm == "dgemm"
+        assert back[3].gflops == pytest.approx(30.7)
+
+    def test_csv_header(self):
+        text = to_csv(_rows())
+        assert text.splitlines()[0] == "algorithm,workload,n,seconds,gflops,detail"
+
+
+class TestSpeedupTable:
+    def test_values(self):
+        txt = speedup_table(_rows(), baseline="dgemm")
+        # strassen at 1024: 0.080 / 0.070 ~= 1.143
+        assert "1.143" in txt
+
+    def test_missing_baseline_workload_skipped(self):
+        rows = _rows() + [ResultRow("strassen", "2048x...", 2048, 1.0, 1.0, "")]
+        txt = speedup_table(rows, baseline="dgemm")
+        assert "2048x..." not in txt

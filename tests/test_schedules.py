@@ -1,0 +1,127 @@
+"""Tests for the DFS / BFS / HYBRID parallel schemes (Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import get_algorithm, strassen
+from repro.parallel import SCHEMES, WorkerPool, multiply_parallel
+from repro.parallel.schedules import _Node, _bfs_leaves, _expand_tree
+from repro.util.matrices import random_matrix
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(2) as p:
+        yield p
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("steps", [1, 2])
+    def test_strassen_square(self, pool, scheme, steps):
+        A = random_matrix(96, 96, 0)
+        B = random_matrix(96, 96, 1)
+        C = multiply_parallel(A, B, strassen(), steps=steps, scheme=scheme, pool=pool)
+        np.testing.assert_allclose(C, A @ B, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_rectangular_odd_sizes(self, pool, scheme):
+        A = random_matrix(131, 77, 2)
+        B = random_matrix(77, 93, 3)
+        alg = get_algorithm("s424")
+        C = multiply_parallel(A, B, alg, steps=2, scheme=scheme, pool=pool)
+        np.testing.assert_allclose(C, A @ B, rtol=1e-9, atol=1e-9)
+
+    @given(st.integers(20, 70), st.integers(20, 70), st.integers(20, 70),
+           st.sampled_from(["bfs", "hybrid", "dfs"]))
+    @settings(max_examples=10, deadline=None)
+    def test_property_any_dims(self, p, q, r, scheme):
+        A = random_matrix(p, q, p)
+        B = random_matrix(q, r, r)
+        with WorkerPool(2) as pl:
+            C = multiply_parallel(A, B, get_algorithm("s233"), steps=1,
+                                  scheme=scheme, pool=pl)
+        np.testing.assert_allclose(C, A @ B, rtol=1e-9, atol=1e-9)
+
+    def test_every_catalog_algorithm_hybrid(self, pool, all_exact_algorithms):
+        A = random_matrix(61, 59, 4)
+        B = random_matrix(59, 67, 5)
+        for alg in all_exact_algorithms:
+            C = multiply_parallel(A, B, alg, steps=1, scheme="hybrid", pool=pool)
+            np.testing.assert_allclose(C, A @ B, rtol=1e-8, atol=1e-8,
+                                       err_msg=alg.name)
+
+    def test_owns_pool_when_none_given(self):
+        A = random_matrix(40, 40, 6)
+        B = random_matrix(40, 40, 7)
+        C = multiply_parallel(A, B, strassen(), steps=1, scheme="bfs", threads=2)
+        np.testing.assert_allclose(C, A @ B, atol=1e-10)
+
+
+class TestValidation:
+    def test_bad_scheme(self, pool):
+        with pytest.raises(ValueError, match="scheme"):
+            multiply_parallel(np.ones((4, 4)), np.ones((4, 4)), strassen(),
+                              scheme="magic", pool=pool)
+
+    def test_dim_mismatch(self, pool):
+        with pytest.raises(ValueError):
+            multiply_parallel(np.ones((4, 3)), np.ones((4, 4)), strassen(),
+                              pool=pool)
+
+    def test_subgroup_must_divide(self, pool):
+        A = random_matrix(32, 32, 0)
+        with pytest.raises(ValueError, match="divide"):
+            multiply_parallel(A, A, strassen(), steps=1,
+                              scheme="hybrid-subgroup", pool=pool,
+                              threads=2, subgroup=3)
+
+    def test_subgroup_explicit(self, pool):
+        A = random_matrix(32, 32, 0)
+        C = multiply_parallel(A, A, strassen(), steps=1,
+                              scheme="hybrid-subgroup", pool=pool,
+                              threads=2, subgroup=1)
+        np.testing.assert_allclose(C, A @ A, atol=1e-10)
+
+
+class TestTreeMechanics:
+    def test_leaf_count_strassen_two_levels(self, pool):
+        A = random_matrix(64, 64, 0)
+        root = _Node(A, A, 0, strassen())
+        tree = _expand_tree(root, 2, pool)
+        assert len(tree) == 3
+        assert len(tree[1]) == 7
+        assert len(tree[2]) == 49
+        assert len(_bfs_leaves(tree)) == 49
+
+    def test_small_nodes_stay_leaves(self, pool):
+        """A node too small to split must be multiplied directly."""
+        A = random_matrix(3, 3, 1)
+        root = _Node(A, A, 0, strassen())
+        tree = _expand_tree(root, 2, pool)
+        # 3x3 splits once (blocks >= 1) but 1x1 blocks cannot split again
+        leaves = _bfs_leaves(tree)
+        assert all(nd.result is None for nd in leaves)
+
+    def test_children_released_after_combine(self, pool):
+        A = random_matrix(16, 16, 2)
+        C = multiply_parallel(A, A, strassen(), steps=1, scheme="bfs", pool=pool)
+        np.testing.assert_allclose(C, A @ A, atol=1e-10)
+
+
+class TestLoadBalanceBehaviour:
+    def test_hybrid_batches(self, pool):
+        """With P=2 and Strassen 1-step (7 leaves), hybrid runs 6 BFS + 1
+        DFS leaf; verify via the result only (timing covered in benches)."""
+        A = random_matrix(80, 80, 3)
+        C = multiply_parallel(A, A, strassen(), steps=1, scheme="hybrid",
+                              pool=pool, threads=2)
+        np.testing.assert_allclose(C, A @ A, rtol=1e-10, atol=1e-10)
+
+    def test_dfs_thread_override(self, pool):
+        A = random_matrix(48, 48, 4)
+        C = multiply_parallel(A, A, strassen(), steps=1, scheme="dfs",
+                              pool=pool, threads=1)
+        np.testing.assert_allclose(C, A @ A, atol=1e-10)

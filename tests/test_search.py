@@ -1,0 +1,154 @@
+"""Tests for the ALS search pipeline (repro.search)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import strassen
+from repro.core import tensor as tz
+from repro.search.als import AlsOptions, als
+from repro.search.driver import SearchOutcome, save_outcome, search
+from repro.search.sparsify import (
+    discretize,
+    normalize_columns,
+    round_to_grid,
+    sign_sweep,
+)
+
+
+class TestAlsBasics:
+    def test_recovers_random_low_rank_tensor(self):
+        """Sanity: ALS fits an exactly rank-3 random tensor."""
+        rng = np.random.default_rng(0)
+        U = rng.standard_normal((4, 3))
+        V = rng.standard_normal((5, 3))
+        W = rng.standard_normal((3, 3))
+        T = tz.tensor_from_factors(U, V, W)
+        res = als(T, 3, rng=1, options=AlsOptions(
+            max_sweeps=1500, attract=False, reg_init=1e-4, reg_final=1e-13))
+        assert res.rel_residual < 1e-8
+
+    def test_overparametrized_rank_converges(self):
+        T = tz.matmul_tensor(2, 2, 2)
+        res = als(T, 8, rng=0, options=AlsOptions(
+            max_sweeps=1800, attract=False, reg_init=1e-3, reg_final=1e-13))
+        assert res.rel_residual < 1e-9  # classical rank is 8: exact fit exists
+
+    def test_underparametrized_rank_plateaus(self):
+        """Rank below border rank cannot converge -- residual stays large."""
+        T = tz.matmul_tensor(2, 2, 2)
+        res = als(T, 4, rng=0, options=AlsOptions(max_sweeps=300))
+        assert res.rel_residual > 1e-2
+        assert not res.converged
+
+    def test_init_is_respected(self):
+        s = strassen()
+        T = tz.matmul_tensor(2, 2, 2)
+        res = als(T, 7, init=(s.U, s.V, s.W),
+                  options=AlsOptions(max_sweeps=5, attract=False,
+                                     reg_init=1e-12, reg_final=1e-12))
+        # already at the solution: must stay there (regularization adds a
+        # tiny bias, so require "very exact", not the convergence flag)
+        assert res.rel_residual < 1e-10
+
+    def test_strassen_rank_found_from_known_seed(self):
+        """Start 10 of the library seed stream converges for <2,2,2> at rank
+        7 (calibrated during development; deterministic by construction)."""
+        from repro.util.rng import spawn_rngs
+
+        T = tz.matmul_tensor(2, 2, 2)
+        g = spawn_rngs(12, seed=42)[10]
+        r1 = als(T, 7, rng=g, options=AlsOptions(max_sweeps=1200))
+        r2 = als(T, 7, rng=g, options=AlsOptions(
+            max_sweeps=800, attract=False, reg_init=1e-6, reg_final=1e-12,
+            stall_sweeps=400), init=(r1.U, r1.V, r1.W))
+        assert r2.rel_residual < 1e-9
+
+
+class TestSparsify:
+    def test_normalize_columns_preserves_tensor(self):
+        rng = np.random.default_rng(5)
+        s = strassen()
+        # scramble scales, then renormalize
+        dx = rng.uniform(0.5, 2.0, 7)
+        dy = rng.uniform(0.5, 2.0, 7)
+        U = s.U * dx
+        V = s.V * dy
+        W = s.W / (dx * dy)
+        Un, Vn, Wn = normalize_columns(U, V, W)
+        T = tz.matmul_tensor(2, 2, 2)
+        assert tz.residual(T, Un, Vn, Wn) < 1e-10
+        # and entries are back on the +-1 grid
+        assert np.allclose(np.abs(Un)[np.abs(Un) > 1e-12], 1.0)
+
+    def test_round_to_grid(self):
+        X = np.array([[0.001, 0.499], [-0.97, 2.04]])
+        R = round_to_grid(X, grid=(0.0, 0.5, 1.0, 2.0))
+        np.testing.assert_array_equal(R, [[0.0, 0.5], [-1.0, 2.0]])
+
+    def test_discretize_recovers_strassen_from_noise(self):
+        s = strassen()
+        rng = np.random.default_rng(11)
+        U = s.U + 1e-4 * rng.standard_normal(s.U.shape)
+        V = s.V + 1e-4 * rng.standard_normal(s.V.shape)
+        W = s.W + 1e-4 * rng.standard_normal(s.W.shape)
+        T = tz.matmul_tensor(2, 2, 2)
+        trip = discretize(T, U, V, W)
+        assert trip is not None
+        assert tz.residual(T, *trip) < 1e-12
+
+    def test_discretize_rejects_garbage(self):
+        rng = np.random.default_rng(3)
+        T = tz.matmul_tensor(2, 2, 2)
+        trip = discretize(
+            T,
+            rng.standard_normal((4, 7)),
+            rng.standard_normal((4, 7)),
+            rng.standard_normal((4, 7)),
+        )
+        assert trip is None
+
+    def test_sign_sweep_fixes_flipped_column(self):
+        s = strassen()
+        U = np.array(s.U); V = np.array(s.V)
+        U[:, 3] *= -1.0
+        V[:, 3] *= -1.0  # (-u)(-v)w = uvw: still exact; sweep must accept
+        T = tz.matmul_tensor(2, 2, 2)
+        trip = sign_sweep(T, U, V, s.W)
+        assert trip is not None
+
+    def test_sign_sweep_rank_guard(self):
+        T = tz.matmul_tensor(2, 2, 2)
+        big = np.zeros((4, 20))
+        assert sign_sweep(T, big, big, big, max_terms=12) is None
+
+
+class TestDriver:
+    def test_search_smoke_trivial_rank(self):
+        """<1,2,1> at rank 2 (classical rank): any start converges fast."""
+        out = search(1, 2, 1, 2, starts=3, seed=0,
+                     options=AlsOptions(max_sweeps=300))
+        assert out is not None
+        assert out.rel_residual < 1e-8
+
+    def test_search_deadline_respected(self):
+        out = search(3, 3, 3, 22, starts=10_000, seed=0, deadline_s=3.0,
+                     options=AlsOptions(max_sweeps=200))
+        # must return quickly with the best-so-far (non-convergent target)
+        assert out is None or out.rel_residual > 0
+
+    def test_outcome_roundtrip(self, tmp_path):
+        out = search(1, 1, 2, 2, starts=2, seed=1,
+                     options=AlsOptions(max_sweeps=200))
+        path = tmp_path / "x.json"
+        save_outcome(out, path)
+        from repro.core.algorithm import FastAlgorithm
+
+        alg = FastAlgorithm.load(path)
+        assert alg.base_case == (1, 1, 2)
+        assert alg.rank == 2
+
+    def test_outcome_dict_fields(self):
+        out = SearchOutcome(2, 2, 2, 7, np.ones((4, 7)), np.ones((4, 7)),
+                            np.ones((4, 7)), 0.5, False, False, 3, 9)
+        d = out.to_dict()
+        assert d["rank"] == 7 and d["seed"] == 9 and d["apa"] is True

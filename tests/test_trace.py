@@ -1,0 +1,80 @@
+"""Tests for scheduler tracing (repro.parallel.trace)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import strassen
+from repro.parallel import multiply_parallel
+from repro.parallel.trace import TaskEvent, Trace, TracedPool
+from repro.util.matrices import random_matrix
+
+
+class TestTraceMath:
+    def _trace(self):
+        return Trace([
+            TaskEvent("w0", "leaf", 0.0, 2.0),
+            TaskEvent("w0", "leaf", 2.0, 3.0),
+            TaskEvent("w1", "leaf", 0.0, 1.0),
+            TaskEvent("w1", "add", 1.0, 1.5),
+        ])
+
+    def test_per_worker_busy(self):
+        busy = self._trace().per_worker_busy()
+        assert busy["w0"] == pytest.approx(3.0)
+        assert busy["w1"] == pytest.approx(1.5)
+
+    def test_imbalance(self):
+        # mean busy = 2.25, max = 3.0
+        assert self._trace().imbalance() == pytest.approx(3.0 / 2.25)
+
+    def test_imbalance_empty(self):
+        assert Trace().imbalance() == 1.0
+
+    def test_makespan(self):
+        assert self._trace().makespan() == pytest.approx(3.0)
+
+    def test_total_task_time(self):
+        assert self._trace().total_task_time() == pytest.approx(4.5)
+
+    def test_label_filter(self):
+        t = self._trace().by_label_prefix("add")
+        assert len(t.events) == 1
+
+
+class TestTracedPool:
+    def test_records_events(self):
+        with TracedPool(2) as pool:
+            pool.label("unit")
+            pool.map_wait(lambda x: time.sleep(0.01), range(4))
+            assert len(pool.trace.events) == 4
+            assert all(e.label == "unit" for e in pool.trace.events)
+            assert all(e.duration >= 0.005 for e in pool.trace.events)
+
+    def test_clear(self):
+        with TracedPool(1) as pool:
+            pool.map_wait(lambda x: x, [1])
+            pool.trace.clear()
+            assert not pool.trace.events
+
+    def test_results_unaffected(self):
+        with TracedPool(2) as pool:
+            assert pool.map_wait(lambda x: x + 1, range(5)) == [1, 2, 3, 4, 5]
+
+    def test_multiply_parallel_through_traced_pool(self):
+        A = random_matrix(64, 64, 0)
+        with TracedPool(2) as pool:
+            C = multiply_parallel(A, A, strassen(), steps=1, scheme="bfs",
+                                  pool=pool)
+            np.testing.assert_allclose(C, A @ A, atol=1e-10)
+            # 7 S/T-formation tasks + 7 leaf tasks + combine task(s)
+            assert len(pool.trace.events) >= 14
+
+    def test_bfs_leaf_count_visible(self):
+        A = random_matrix(64, 64, 1)
+        with TracedPool(2) as pool:
+            multiply_parallel(A, A, strassen(), steps=2, scheme="bfs",
+                              pool=pool)
+            # 7 + 49 formation tasks, 49 leaves, 8 combines
+            assert len(pool.trace.events) >= 100

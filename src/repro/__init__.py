@@ -48,6 +48,7 @@ __all__ = [
     "winograd",
     "classical",
     "multiply",
+    "matmul",
     "multiply_reference",
     "multiply_parallel",
     "multiply_schedule",
@@ -86,11 +87,25 @@ def multiply(
     return compile_algorithm(alg, strategy=strategy, cse=cse)(A, B, steps=steps)
 
 
+def matmul(A: np.ndarray, B: np.ndarray, **kwargs) -> np.ndarray:
+    """Multiply ``A @ B`` with the algorithm chosen *for you*.
+
+    The self-optimizing entry point (``repro.tuner``): consults the
+    persistent plan cache for this shape/dtype/thread-count, falls back to
+    the analytical cost model, and with ``tune="auto"`` measures the
+    candidate shortlist once and remembers the winner.  See
+    :func:`repro.tuner.matmul` for the full parameter list.
+    """
+    from repro import tuner
+
+    return tuner.matmul(A, B, **kwargs)
+
+
 def __getattr__(name: str):
     """Lazy subpackage access (PEP 562): ``repro.linalg`` pulls in SciPy
-    and ``repro.distributed``/``repro.search``/``repro.cli`` are niche, so
-    none of them should tax ``import repro``."""
-    if name in ("linalg", "distributed", "search", "cli"):
+    and ``repro.distributed``/``repro.search``/``repro.tuner``/``repro.cli``
+    are niche, so none of them should tax ``import repro``."""
+    if name in ("linalg", "distributed", "search", "cli", "tuner"):
         import importlib
 
         return importlib.import_module(f"repro.{name}")

@@ -6,7 +6,10 @@ Subcommands map onto the library's main entry points:
 - ``verify``    — exactness/residual check of catalog entries;
 - ``multiply``  — time one fast multiply against the vendor BLAS and
   report effective GFLOPS (Eq. 3), sequential or parallel, optionally
-  through the native C chain backend;
+  through the native C chain backend; ``--auto`` lets the tuner's plan
+  cache / cost model pick the algorithm instead;
+- ``tune``      — sweep candidate plans for a set of shapes under a time
+  budget and persist the winners to the plan cache (``repro.tuner``);
 - ``codegen``   — print the generated Python (or C) source for an
   algorithm/strategy/CSE combination;
 - ``search``    — run the §2.3 ALS search (delegates to
@@ -55,6 +58,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--blas-threads", type=int, default=None,
                    help="pin the vendor BLAS thread count for both sides")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--auto", action="store_true",
+                   help="let the tuner pick the plan (ignores --algorithm)")
+    p.add_argument("--cache", default=None,
+                   help="plan-cache file for --auto (default: "
+                        "$REPRO_PLAN_CACHE or ~/.cache/repro)")
+
+    p = sub.add_parser("tune", help="tune plans for a set of shapes and "
+                                    "persist them to the plan cache")
+    p.add_argument("--shapes", nargs="+", metavar="PxQxR",
+                   default=["1024x1024x1024", "1024x416x1024", "2048x416x416"],
+                   help="problem shapes, e.g. 1536x1536x1536 (default: one "
+                        "per paper regime: square, outer product, "
+                        "tall-skinny)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="thread count to tune for (default: all cores, "
+                        "matching repro.matmul's dispatch default)")
+    p.add_argument("--dtype", default="float64",
+                   choices=["float32", "float64"])
+    p.add_argument("--budget-seconds", type=float, default=30.0,
+                   help="wall-clock budget per shape")
+    p.add_argument("--trials", type=int, default=3, help="median-of-k trials")
+    p.add_argument("--candidates", type=int, default=8,
+                   help="size of the measured shortlist per shape")
+    p.add_argument("--cache", default=None,
+                   help="plan-cache file (default: $REPRO_PLAN_CACHE or "
+                        "~/.cache/repro/plan_cache.json)")
+    p.add_argument("--csv", default=None,
+                   help="also export the measurements as CSV")
+    p.add_argument("--dry-run", action="store_true",
+                   help="list the ranked candidate plans without timing")
 
     p = sub.add_parser("codegen", help="print generated source")
     p.add_argument("--algorithm", "-a", default="strassen")
@@ -119,7 +152,17 @@ def cmd_multiply(args, out=sys.stdout) -> int:
     A = rng.standard_normal((p, q))
     B = rng.standard_normal((q, r))
 
-    if args.native:
+    if args.auto:
+        from repro import tuner
+
+        cache = tuner.PlanCache(args.cache) if args.cache else None
+        plan, source = tuner.get_plan(
+            p, q, r, dtype=np.result_type(A, B).name,
+            threads=args.threads, cache=cache,
+        )
+        fast = lambda: tuner.execute_plan(plan, A, B)  # noqa: E731
+        label = f"auto: {plan.describe()} [{source}]"
+    elif args.native:
         from repro.codegen import cbackend
 
         cc = cbackend.compile_chains(args.algorithm)
@@ -152,6 +195,68 @@ def cmd_multiply(args, out=sys.stdout) -> int:
     print(f"{label:>24}: {t_fast:8.4f}s "
           f"{effective_gflops(p, q, r, t_fast):8.2f} eff.GFLOPS "
           f"(speedup {t_blas / t_fast:5.2f}x, rel.err {err:.1e})", file=out)
+    return 0
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    parts = text.lower().split("x")
+    if len(parts) == 1:
+        parts = parts * 3
+    if len(parts) != 3:
+        raise ValueError(f"bad shape {text!r}: want PxQxR (or a single N)")
+    return tuple(int(x) for x in parts)  # type: ignore[return-value]
+
+
+def cmd_tune(args, out=sys.stdout) -> int:
+    from repro import tuner
+    from repro.bench import report
+
+    from repro.parallel import available_cores
+
+    try:
+        shapes = [_parse_shape(s) for s in args.shapes]
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    threads = args.threads or available_cores()
+    cache = tuner.PlanCache(args.cache) if args.cache else tuner.PlanCache()
+
+    if args.dry_run:
+        for p, q, r in shapes:
+            print(f"-- {p}x{q}x{r}: ranked candidates "
+                  f"({threads} threads)", file=out)
+            for pl in tuner.enumerate_plans(p, q, r, threads=threads,
+                                            max_candidates=args.candidates):
+                print(f"   {pl.describe()}", file=out)
+        return 0
+
+    t0 = time.perf_counter()
+    reports = tuner.tune(
+        shapes, dtype=args.dtype, threads=threads,
+        budget_s=args.budget_seconds, trials=args.trials,
+        max_candidates=args.candidates, cache=cache,
+    )
+    rows = [row for rep in reports for row in rep.rows()]
+
+    # ---- human-readable tuning report (bench.report rendering) ----
+    print(f"tuned {len(reports)} shape(s) in {time.perf_counter() - t0:.1f}s "
+          f"({args.dtype}, {threads} threads); "
+          f"plan cache: {cache.path}", file=out)
+    for rep in reports:
+        print(f"\n-- {rep.label}", file=out)
+        for m in sorted(rep.measurements, key=lambda m: m.seconds):
+            mark = "  <-- cached" if m is rep.best else ""
+            print(f"  {m.describe()}{mark}", file=out)
+    series = report.rows_to_series(
+        [row for row in rows
+         if "winner" in row.detail or row.algorithm.startswith("dgemm")]
+    )
+    if len(reports) > 1:
+        print("\n" + report.ascii_plot(
+            series, title="tuned winners vs dgemm baseline"), file=out)
+    if args.csv:
+        report.to_csv(rows, args.csv)
+        print(f"\nwrote {len(rows)} measurements to {args.csv}", file=out)
     return 0
 
 
@@ -190,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "verify": cmd_verify,
         "multiply": cmd_multiply,
+        "tune": cmd_tune,
         "codegen": cmd_codegen,
         "search": cmd_search,
     }[args.command]

@@ -91,6 +91,77 @@ def speedup_per_step(alg: FastAlgorithm) -> float:
     return alg.multiplication_speedup_per_step
 
 
+# --------------------------------------------------- tuner ranking model
+def _nnz_addition_weight(alg: FastAlgorithm) -> tuple[float, float, float]:
+    """Per-level addition flops in units of (A-block, B-block, C-block) area.
+
+    Mirrors ``_addition_flops_per_level`` but returns the three block-area
+    coefficients so callers can evaluate them at fractional block sizes.
+    """
+    wa = wb = wc = 0.0
+    for col in alg.U.T:
+        t = int(np.count_nonzero(col))
+        scal = int(np.count_nonzero(np.abs(col[col != 0]) != 1.0))
+        if t:
+            wa += t - 1 + scal
+    for col in alg.V.T:
+        t = int(np.count_nonzero(col))
+        scal = int(np.count_nonzero(np.abs(col[col != 0]) != 1.0))
+        if t:
+            wb += t - 1 + scal
+    for row in alg.W:
+        t = int(np.count_nonzero(row))
+        scal = int(np.count_nonzero(np.abs(row[row != 0]) != 1.0))
+        if t:
+            wc += t - 1 + scal
+    return wa, wb, wc
+
+
+def estimate_recursive_flops(
+    alg: FastAlgorithm, p: float, q: float, r: float, steps: int
+) -> tuple[float, float]:
+    """(leaf-multiply flops, addition flops) of ``steps`` recursion levels
+    on an *arbitrary*-shape ``p x q x r`` problem.
+
+    Unlike :func:`recursive_flops` this does not require divisibility:
+    block sizes are fractional, which approximates dynamic peeling's
+    smoothing of the true step function.  Used by ``repro.tuner`` to rank
+    candidate plans without running them.
+    """
+    m, k, n = alg.base_case
+    if steps <= 0 or p < m or q < k or r < n:
+        return 2.0 * p * q * r, 0.0
+    wa, wb, wc = _nnz_addition_weight(alg)
+    adds = (
+        wa * (p / m) * (q / k)
+        + wb * (q / k) * (r / n)
+        + wc * (p / m) * (r / n)
+    )
+    mults, sub_adds = estimate_recursive_flops(alg, p / m, q / k, r / n, steps - 1)
+    return alg.rank * mults, adds + alg.rank * sub_adds
+
+
+def plan_cost(
+    alg: FastAlgorithm | None,
+    p: int,
+    q: int,
+    r: int,
+    steps: int,
+    add_penalty: float = 4.0,
+) -> float:
+    """Tuner ranking score for running ``alg`` at ``steps`` on ``p x q x r``.
+
+    Additions are bandwidth-bound while leaf gemms are compute-bound
+    (Section 3.2's central observation), so an addition flop is charged
+    ``add_penalty`` times a multiply flop.  ``alg=None`` scores the plain
+    vendor gemm.  Lower is better; the unit is "gemm-equivalent flops".
+    """
+    if alg is None or steps <= 0:
+        return 2.0 * p * q * r
+    mults, adds = estimate_recursive_flops(alg, p, q, r, steps)
+    return mults + add_penalty * adds
+
+
 # ------------------------------------------------------ reads/writes, Sec 3.2
 def addition_rw_counts(alg: FastAlgorithm, strategy: str) -> tuple[int, int]:
     """(submatrix reads, submatrix writes) per recursion level, Section 3.2.

@@ -90,19 +90,29 @@ def set_threads(n: int) -> None:
 
 
 @contextlib.contextmanager
-def blas_threads(n: int):
+def blas_threads(n: int | None):
     """Temporarily pin the vendor BLAS to ``n`` threads.
 
     This is the lever the parallel schemes use: BFS tasks run their leaf
     gemms under ``blas_threads(1)``, DFS leaves under ``blas_threads(P)``.
+
+    The context is guarded so in-process tuning sweeps cannot leak global
+    BLAS state: ``n`` is clamped to >= 1 (a zero/negative request pins to
+    one thread rather than raising after the getter already ran), ``None``
+    is a no-op, nesting restores the exact value saved at entry, and a
+    degenerate saved value (some builds report 0 before initialization)
+    restores to 1 instead of erroring inside ``finally``.
     """
+    if n is None:
+        yield
+        return
     _probe()
     old = get_threads()
-    set_threads(n)
+    set_threads(max(1, int(n)))
     try:
         yield
     finally:
-        set_threads(old)
+        set_threads(old if old >= 1 else 1)
 
 
 def sequential():

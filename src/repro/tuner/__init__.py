@@ -1,0 +1,58 @@
+"""Shape-aware autotuner and plan-cache dispatch (the paper, made a system).
+
+The paper's practical finding (Figures 5-6) is that *no single fast
+algorithm wins everywhere*: the best base case, recursion depth and
+parallel schedule depend on problem shape, dtype and thread count.  This
+subsystem turns that finding into machinery:
+
+- :mod:`repro.tuner.space`    -- the :class:`Plan` dataclass and candidate
+  enumeration, pruned/ranked by the ``core.cost`` analytical model;
+- :mod:`repro.tuner.measure`  -- timed trials (``tune`` / ``tune_shape``)
+  under a wall-clock budget, reporting effective GFLOPS;
+- :mod:`repro.tuner.cache`    -- the persistent, versioned JSON plan cache
+  keyed by ``(m, k, n, dtype, threads)`` with nearest-shape fallback;
+- :mod:`repro.tuner.dispatch` -- ``matmul(A, B)``: cache hit -> run the
+  plan; miss -> cost-model pick, optional online tuning.
+
+Quick start::
+
+    import numpy as np
+    from repro import tuner
+
+    tuner.tune([(1536, 1536, 1536)], budget_s=20)   # once, persisted
+    C = tuner.matmul(A, B)                          # dispatches the winner
+"""
+
+from repro.tuner.cache import PlanCache, SCHEMA_VERSION, default_cache_path
+from repro.tuner.dispatch import (
+    execute_plan,
+    get_plan,
+    matmul,
+    reset_shared_cache,
+)
+from repro.tuner.measure import (
+    Measurement,
+    ShapeReport,
+    measure_plan,
+    tune,
+    tune_shape,
+)
+from repro.tuner.space import Plan, candidate_algorithms, enumerate_plans
+
+__all__ = [
+    "Plan",
+    "PlanCache",
+    "SCHEMA_VERSION",
+    "Measurement",
+    "ShapeReport",
+    "candidate_algorithms",
+    "default_cache_path",
+    "enumerate_plans",
+    "execute_plan",
+    "get_plan",
+    "matmul",
+    "measure_plan",
+    "reset_shared_cache",
+    "tune",
+    "tune_shape",
+]

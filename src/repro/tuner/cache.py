@@ -1,0 +1,179 @@
+"""Persistent plan cache: the tuner's memory between processes.
+
+One JSON file maps problem keys ``(m, k, n, dtype, threads)`` to the best
+measured :class:`~repro.tuner.space.Plan` and its observed performance.
+The schema is versioned: a file written by an incompatible release is
+ignored (never half-parsed), and saving always rewrites the current
+schema atomically (write to a sibling temp file, then rename).
+
+Untuned shapes fall back to the *nearest* tuned shape (same dtype and
+thread count, closest in log-space) -- the paper's Figure 5/6 regimes are
+broad plateaus, so a plan tuned at ``3000 x 416 x 3000`` transfers to
+``3200 x 400 x 3200`` essentially unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+
+from repro.tuner.space import Plan
+
+#: bump when the on-disk layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: default max log-space distance for the nearest-shape fallback
+#: (1.0 ~= one dimension off by a factor e)
+NEAREST_RADIUS = 1.0
+
+
+def default_cache_path() -> Path:
+    """``$REPRO_PLAN_CACHE`` if set, else ``~/.cache/repro/plan_cache.json``."""
+    env = os.environ.get("REPRO_PLAN_CACHE")
+    if env:
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache"))
+    return Path(base) / "repro" / "plan_cache.json"
+
+
+def problem_key(m: int, k: int, n: int, dtype: str, threads: int) -> str:
+    return f"{m}x{k}x{n}:{dtype}:{threads}t"
+
+
+def _parse_key(key: str) -> tuple[int, int, int, str, int] | None:
+    try:
+        shape, dtype, t = key.split(":")
+        m, k, n = (int(x) for x in shape.split("x"))
+        return m, k, n, dtype, int(t.rstrip("t"))
+    except (ValueError, AttributeError):
+        return None
+
+
+class PlanCache:
+    """Dictionary of tuned plans with JSON persistence.
+
+    ``load`` is lazy and forgiving (missing file, bad JSON or a schema
+    mismatch all yield an empty cache); ``save`` is atomic.  Entries store
+    the plan plus the measured seconds/GFLOPS so reports can show what the
+    tuner believed when it committed to the plan.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else default_cache_path()
+        self._entries: dict[str, dict] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------- storage
+    def load(self) -> "PlanCache":
+        self._loaded = True
+        self._entries = {}
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return self
+        if not isinstance(raw, dict) or raw.get("schema") != SCHEMA_VERSION:
+            return self  # foreign or stale file: start fresh, don't crash
+        entries = raw.get("entries", {})
+        if isinstance(entries, dict):
+            self._entries = {
+                k: v for k, v in entries.items()
+                if _parse_key(k) is not None and isinstance(v, dict)
+            }
+        return self
+
+    def save(self) -> None:
+        payload = {"schema": SCHEMA_VERSION, "entries": self._entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _ensure(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # -------------------------------------------------------------- access
+    def __len__(self) -> int:
+        self._ensure()
+        return len(self._entries)
+
+    def keys(self) -> list[str]:
+        self._ensure()
+        return sorted(self._entries)
+
+    def get(self, m: int, k: int, n: int, dtype: str = "float64",
+            threads: int = 1) -> Plan | None:
+        """Exact-key lookup."""
+        self._ensure()
+        ent = self._entries.get(problem_key(m, k, n, dtype, threads))
+        if ent is None:
+            return None
+        try:
+            return Plan.from_dict(ent["plan"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def entry(self, m: int, k: int, n: int, dtype: str = "float64",
+              threads: int = 1) -> dict | None:
+        """Exact-key raw entry (plan dict + measured seconds/gflops)."""
+        self._ensure()
+        return self._entries.get(problem_key(m, k, n, dtype, threads))
+
+    def put(self, m: int, k: int, n: int, dtype: str, threads: int,
+            plan: Plan, seconds: float | None = None,
+            gflops: float | None = None) -> None:
+        self._ensure()
+        self._entries[problem_key(m, k, n, dtype, threads)] = {
+            "plan": plan.to_dict(),
+            "seconds": seconds,
+            "gflops": gflops,
+        }
+
+    def nearest(
+        self, m: int, k: int, n: int, dtype: str = "float64",
+        threads: int = 1, radius: float = NEAREST_RADIUS,
+    ) -> Plan | None:
+        """Closest tuned shape with the same dtype and thread count.
+
+        Distance is Euclidean in log-dimension space; ``None`` when
+        nothing tuned lies within ``radius``.
+        """
+        self._ensure()
+        best, best_d = None, radius
+        for key, ent in self._entries.items():
+            parsed = _parse_key(key)
+            if parsed is None:
+                continue
+            em, ek, en, edtype, et = parsed
+            if edtype != dtype or et != threads:
+                continue
+            d = math.sqrt(
+                math.log(em / m) ** 2
+                + math.log(ek / k) ** 2
+                + math.log(en / n) ** 2
+            )
+            if d <= best_d:
+                best, best_d = ent, d
+        if best is None:
+            return None
+        try:
+            return Plan.from_dict(best["plan"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def clear(self) -> None:
+        self._entries = {}
+        self._loaded = True

@@ -1,0 +1,142 @@
+"""The dispatch hot path: ``repro.matmul(A, B)``.
+
+Resolution order for a ``p x q x r`` problem (the subsystem's contract):
+
+1. **cache hit** -- the shape was tuned before: execute its plan verbatim
+   (deterministic: identical calls pick identical plans);
+2. **nearest neighbour** -- an adjacent tuned shape exists: borrow its plan
+   (the paper's performance regimes are wide plateaus);
+3. **cost model** -- rank the candidate space analytically and run the
+   best plan untimed; optionally (``tune="auto"``) measure the shortlist
+   once and remember the winner for next time.
+
+Tiny problems skip all of it and go straight to the vendor BLAS: below the
+dgemm ramp-up knee no fast algorithm can win (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.codegen import compile_algorithm
+from repro.parallel import blas
+from repro.parallel.pool import WorkerPool, available_cores
+from repro.parallel.schedules import multiply_parallel
+from repro.tuner.cache import PlanCache
+from repro.tuner.space import DEFAULT_MIN_LEAF, Plan, enumerate_plans
+from repro.util.validation import check_matmul_dims, require_2d
+
+#: problems whose smallest dimension is below this always run plain BLAS
+TRIVIAL_DIM = 2 * DEFAULT_MIN_LEAF
+
+#: plans measured when dispatch tunes online (``tune="auto"``/"always")
+ONLINE_SHORTLIST = 4
+
+_default_cache: PlanCache | None = None
+
+
+def _shared_cache() -> PlanCache:
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = PlanCache()
+    return _default_cache
+
+
+def reset_shared_cache() -> None:
+    """Forget the process-wide cache object (tests; after env changes)."""
+    global _default_cache
+    _default_cache = None
+
+
+def execute_plan(
+    plan: Plan,
+    A: np.ndarray,
+    B: np.ndarray,
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """Run one multiplication exactly as ``plan`` prescribes."""
+    if plan.is_dgemm:
+        with blas.blas_threads(plan.threads):
+            return A @ B
+    alg = get_algorithm(plan.algorithm)
+    if plan.scheme == "sequential":
+        fn = compile_algorithm(alg, strategy=plan.strategy)
+        with blas.blas_threads(plan.threads):
+            return fn(A, B, steps=plan.steps)
+    return multiply_parallel(
+        A, B, alg, steps=plan.steps, scheme=plan.scheme,
+        pool=pool, threads=plan.threads,
+    )
+
+
+def get_plan(
+    p: int,
+    q: int,
+    r: int,
+    dtype: str = "float64",
+    threads: int | None = None,
+    cache: PlanCache | None = None,
+) -> tuple[Plan, str]:
+    """Resolve the plan for a shape; returns ``(plan, source)``.
+
+    ``source`` is one of ``"trivial"``, ``"cache"``, ``"nearest"`` or
+    ``"model"`` -- callers use it to decide whether online tuning is worth
+    the trouble (only ``"model"`` plans are unmeasured guesses).
+
+    ``threads`` defaults to every available core, the same default
+    ``tune``/``matmul`` use, so a tune-then-dispatch pair agrees on the
+    cache key.
+    """
+    threads = threads or available_cores()
+    if min(p, q, r) < TRIVIAL_DIM:
+        return Plan(threads=threads), "trivial"
+    cache = cache if cache is not None else _shared_cache()
+    plan = cache.get(p, q, r, dtype, threads)
+    if plan is not None:
+        return plan, "cache"
+    plan = cache.nearest(p, q, r, dtype, threads)
+    if plan is not None:
+        return plan, "nearest"
+    plans = enumerate_plans(p, q, r, threads=threads)
+    return plans[0], "model"
+
+
+def matmul(
+    A: np.ndarray,
+    B: np.ndarray,
+    threads: int | None = None,
+    cache: PlanCache | None = None,
+    tune: str = "never",
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """Multiply ``A @ B``, choosing the algorithm automatically.
+
+    The public self-optimizing entry point: consults the plan cache (see
+    :mod:`repro.tuner.cache`), falls back to the analytical cost model,
+    and -- when ``tune`` is ``"auto"`` (tune on a model miss) or
+    ``"always"`` (re-tune regardless) -- measures the candidate shortlist
+    on synthetic data of the same shape and remembers the winner.
+
+    ``threads`` defaults to every available core.
+    """
+    A = require_2d(A, "A")
+    B = require_2d(B, "B")
+    check_matmul_dims(A, B)
+    if tune not in ("never", "auto", "always"):
+        raise ValueError(f"tune must be never/auto/always, got {tune!r}")
+    p, q = A.shape
+    r = B.shape[1]
+    dtype = np.result_type(A, B).name
+    threads = threads or available_cores()
+    cache = cache if cache is not None else _shared_cache()
+    plan, source = get_plan(p, q, r, dtype=dtype, threads=threads, cache=cache)
+    wants_tuning = tune == "always" or (tune == "auto" and source == "model")
+    if wants_tuning and source != "trivial":
+        from repro.tuner.measure import tune_shape
+
+        plan = tune_shape(
+            p, q, r, dtype=dtype, threads=threads, cache=cache,
+            max_candidates=ONLINE_SHORTLIST, trials=1, persist=True,
+        ).best.plan
+    return execute_plan(plan, A, B, pool=pool)

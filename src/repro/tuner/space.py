@@ -1,0 +1,168 @@
+"""The tuning space: execution plans and their enumeration.
+
+A :class:`Plan` pins down everything the paper leaves to the practitioner:
+which algorithm (by catalog name, including shape-matched permutations),
+how many recursive steps, which parallel schedule, which matrix-addition
+strategy, the leaf cutoff and the thread count.  ``enumerate_plans``
+generates the candidates for one problem shape and ranks them with the
+``core.cost`` analytical model so measurement (``repro.tuner.measure``)
+only has to time a short, promising shortlist.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.algorithms import get_algorithm, list_algorithms
+from repro.core.cost import plan_cost
+from repro.core.transforms import permutation_family
+from repro.parallel.schedules import SCHEMES
+
+#: schedule names a plan may reference: the paper's three parallel schemes
+#: (plus the sub-group hybrid) and the sequential compiled path.
+PLAN_SCHEMES = ("sequential",) + SCHEMES
+
+#: leaf subproblems below this dimension have left the flat part of the
+#: dgemm ramp-up curve (Section 3.4); recursion stops there.
+DEFAULT_MIN_LEAF = 64
+
+#: plain-BLAS pseudo-algorithm name usable in plans
+DGEMM = "dgemm"
+
+
+@dataclasses.dataclass(frozen=True)
+class Plan:
+    """One fully specified way to execute a multiplication.
+
+    ``algorithm`` is a catalog registry name (``strassen``, ``s424``, ...)
+    or ``"dgemm"`` for the vendor BLAS; ``steps == 0`` also means plain
+    BLAS.  ``scheme`` is ``"sequential"`` or one of the parallel schemes;
+    ``threads`` is the BLAS thread count (sequential/dgemm) or worker
+    count (parallel schemes).
+    """
+
+    algorithm: str = DGEMM
+    steps: int = 0
+    scheme: str = "sequential"
+    strategy: str = "write_once"
+    threads: int = 1
+    min_leaf: int = DEFAULT_MIN_LEAF
+
+    def __post_init__(self):
+        if self.scheme not in PLAN_SCHEMES:
+            raise ValueError(
+                f"scheme must be one of {PLAN_SCHEMES}, got {self.scheme!r}"
+            )
+        if self.steps < 0:
+            raise ValueError("steps must be >= 0")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+
+    @property
+    def is_dgemm(self) -> bool:
+        return self.algorithm == DGEMM or self.steps == 0
+
+    def describe(self) -> str:
+        if self.is_dgemm:
+            return f"dgemm({self.threads}t)"
+        return (
+            f"{self.algorithm} steps={self.steps} {self.scheme}"
+            f"({self.threads}t)"
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Plan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+@functools.lru_cache(maxsize=1)
+def candidate_algorithms() -> list[str]:
+    """All catalog names the tuner considers.
+
+    Every exact root algorithm plus the base-case permutations of each
+    (Props. 2.1/2.2), so rectangular shapes can pick an orientation that
+    matches, e.g. ``s424`` for the outer-product ``N x k x N`` regime.
+    The cost model, not this list, decides which orientation fits a shape.
+    """
+    roots: list[tuple[str, object]] = []
+    for root in list_algorithms(include_apa=False):
+        try:
+            roots.append((root, get_algorithm(root)))
+        except KeyError:
+            continue
+    names = [name for name, _ in roots]
+    covered = {alg.base_case for _, alg in roots}
+    for _, alg in roots:
+        for base in permutation_family(alg):
+            if base in covered:
+                continue
+            name = "s%d%d%d" % base
+            try:
+                get_algorithm(name)
+            except KeyError:
+                continue
+            covered.add(base)
+            names.append(name)
+    return sorted(set(names))
+
+
+def max_useful_steps(
+    base: tuple[int, int, int], p: int, q: int, r: int,
+    min_leaf: int = DEFAULT_MIN_LEAF, cap: int = 3,
+) -> int:
+    """Deepest recursion whose leaves stay >= ``min_leaf`` in every dim."""
+    m, k, n = base
+    steps = 0
+    cp, cq, cr = p, q, r
+    while steps < cap and min(cp // m, cq // k, cr // n) >= min_leaf:
+        cp, cq, cr = cp // m, cq // k, cr // n
+        steps += 1
+    return steps
+
+
+def enumerate_plans(
+    p: int,
+    q: int,
+    r: int,
+    threads: int = 1,
+    min_leaf: int = DEFAULT_MIN_LEAF,
+    max_candidates: int | None = None,
+    add_penalty: float = 4.0,
+) -> list[Plan]:
+    """Candidate plans for one shape, best-ranked (by the cost model) first.
+
+    The space is algorithm x steps x schedule, pruned: recursion depths
+    whose leaves drop below ``min_leaf`` are skipped, and fast plans whose
+    modeled cost exceeds plain dgemm are dropped (they cannot win).  The
+    dgemm baseline plan is always included, so the list is never empty.
+    """
+    schemes = ("sequential",) if threads <= 1 else SCHEMES[:3]
+    scored: list[tuple[float, Plan]] = [
+        (plan_cost(None, p, q, r, 0), Plan(threads=threads, min_leaf=min_leaf))
+    ]
+    dgemm_cost = scored[0][0]
+    for name in candidate_algorithms():
+        alg = get_algorithm(name)
+        depth = max_useful_steps(alg.base_case, p, q, r, min_leaf=min_leaf)
+        for steps in range(1, depth + 1):
+            cost = plan_cost(alg, p, q, r, steps, add_penalty=add_penalty)
+            if cost >= dgemm_cost:
+                continue
+            for scheme in schemes:
+                scored.append((cost, Plan(
+                    algorithm=name, steps=steps, scheme=scheme,
+                    threads=threads, min_leaf=min_leaf,
+                )))
+    scored.sort(key=lambda cp_: (cp_[0], cp_[1].describe()))
+    plans = [pl for _, pl in scored]
+    if max_candidates is not None:
+        head = plans[:max_candidates]
+        if not any(pl.is_dgemm for pl in head):
+            head[-1:] = [next(pl for pl in plans if pl.is_dgemm)]
+        plans = head
+    return plans

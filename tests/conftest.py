@@ -8,6 +8,12 @@ import pytest
 from repro.algorithms import classical, get_algorithm, strassen, winograd
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (deselect with -m 'not slow')"
+    )
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(20150207)

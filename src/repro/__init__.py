@@ -91,10 +91,14 @@ def matmul(A: np.ndarray, B: np.ndarray, **kwargs) -> np.ndarray:
     """Multiply ``A @ B`` with the algorithm chosen *for you*.
 
     The self-optimizing entry point (``repro.tuner``): consults the
-    persistent plan cache for this shape/dtype/thread-count, falls back to
-    the analytical cost model, and with ``tune="auto"`` measures the
-    candidate shortlist once and remembers the winner.  See
-    :func:`repro.tuner.matmul` for the full parameter list.
+    persistent plan cache for this shape/dtype/thread-count (entries tuned
+    on another machine are fingerprint-stale and bypassed), falls back to
+    the analytical cost model, and learns per the ``tune`` policy --
+    ``"auto"`` measures the candidate shortlist once and remembers the
+    winner; ``"online"`` explores it across real calls with amortized
+    timing and promotes the winner into the cache.  See
+    :func:`repro.tuner.matmul` and :mod:`repro.tuner.policy` for the full
+    parameter list.
     """
     from repro import tuner
 

@@ -10,17 +10,78 @@ speedup per step, recursion cannot pay.
 
 ``GemmCurve`` is the measured object; ``should_recurse`` applies the rule;
 ``recommended_steps`` turns it into the step count used by benchmarks.
+
+This module is also the source of the **machine fingerprint**
+(:func:`machine_fingerprint` / :func:`fingerprint_digest`): everything the
+curves above depend on -- CPU model, core count, BLAS vendor and thread
+ceiling, numpy version -- folded into a short digest.  The plan cache
+stamps each tuned entry with it, so a cache tuned on one box is detected
+(and re-tuned) rather than silently trusted on another.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
+import hashlib
+import json
+import os
+import platform
 
 import numpy as np
 
 from repro.bench.metrics import effective_gflops, median_time
 from repro.parallel import blas
 from repro.util.matrices import random_matrix
+
+
+# ------------------------------------------------------- machine fingerprint
+def _cpu_model() -> str:
+    """Human-readable CPU model, best effort across platforms."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+@functools.lru_cache(maxsize=1)
+def machine_fingerprint() -> dict:
+    """The hardware/software facts a tuned plan's validity depends on.
+
+    Computed once per process.  Every field is *configuration*, never live
+    mutable state: the BLAS thread ceiling comes from the pinning
+    environment variables (the operator-level knob that genuinely shifts
+    tuning winners), not from ``blas.get_threads()``, whose value depends
+    on whichever ``blas_threads`` context happens to be active at first
+    call and would make the digest nondeterministic across processes on
+    the same box.  Keys are stable and JSON-serializable; see
+    :func:`fingerprint_digest` for the cache stamp.
+    """
+    env_threads = (os.environ.get("OPENBLAS_NUM_THREADS")
+                   or os.environ.get("OMP_NUM_THREADS"))
+    try:
+        blas_threads = int(env_threads) if env_threads else 0
+    except ValueError:
+        blas_threads = 0
+    return {
+        "cpu": _cpu_model(),
+        "cores": os.cpu_count() or 1,
+        "blas": blas.library_name() or "unknown",
+        # 0 = unpinned (use all cores); a pinned value changes the digest
+        "blas_threads": blas_threads or os.cpu_count() or 1,
+        "numpy": np.__version__,
+    }
+
+
+def fingerprint_digest(fingerprint: dict | None = None) -> str:
+    """Short stable digest of a fingerprint (default: this machine's)."""
+    fp = machine_fingerprint() if fingerprint is None else fingerprint
+    blob = json.dumps(fp, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -10,6 +10,11 @@ Subcommands map onto the library's main entry points:
   cache / cost model pick the algorithm instead;
 - ``tune``      — sweep candidate plans for a set of shapes under a time
   budget and persist the winners to the plan cache (``repro.tuner``);
+  ``--policy online`` instead explores during simulated dispatch traffic
+  (the budgeted epsilon-greedy policy of ``repro.tuner.policy``);
+- ``cache``     — inspect (``show``) or invalidate (``invalidate``) the
+  plan cache; entries tuned under another machine fingerprint are shown
+  as stale and are the default target of invalidation;
 - ``codegen``   — print the generated Python (or C) source for an
   algorithm/strategy/CSE combination;
 - ``search``    — run the §2.3 ALS search (delegates to
@@ -88,6 +93,24 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="also export the measurements as CSV")
     p.add_argument("--dry-run", action="store_true",
                    help="list the ranked candidate plans without timing")
+    p.add_argument("--policy", default="offline",
+                   choices=["offline", "online"],
+                   help="offline: blocking measurement sweep (default); "
+                        "online: explore during simulated dispatch traffic")
+    p.add_argument("--dispatches", type=int, default=16,
+                   help="simulated dispatches per shape for --policy online")
+    p.add_argument("--seed", type=int, default=0,
+                   help="operand-generation seed (tunes are reproducible "
+                        "given the same seed)")
+
+    p = sub.add_parser("cache", help="inspect or invalidate the plan cache")
+    p.add_argument("action", choices=["show", "invalidate"])
+    p.add_argument("--cache", default=None,
+                   help="plan-cache file (default: $REPRO_PLAN_CACHE or "
+                        "~/.cache/repro/plan_cache.json)")
+    p.add_argument("--all", action="store_true",
+                   help="invalidate every entry, not just fingerprint-stale "
+                        "ones")
 
     p = sub.add_parser("codegen", help="print generated source")
     p.add_argument("--algorithm", "-a", default="strassen")
@@ -224,17 +247,21 @@ def cmd_tune(args, out=sys.stdout) -> int:
     if args.dry_run:
         for p, q, r in shapes:
             print(f"-- {p}x{q}x{r}: ranked candidates "
-                  f"({threads} threads)", file=out)
+                  f"({threads} threads, {args.dtype})", file=out)
             for pl in tuner.enumerate_plans(p, q, r, threads=threads,
+                                            dtype=args.dtype,
                                             max_candidates=args.candidates):
                 print(f"   {pl.describe()}", file=out)
         return 0
+
+    if args.policy == "online":
+        return _tune_online(args, shapes, threads, cache, out)
 
     t0 = time.perf_counter()
     reports = tuner.tune(
         shapes, dtype=args.dtype, threads=threads,
         budget_s=args.budget_seconds, trials=args.trials,
-        max_candidates=args.candidates, cache=cache,
+        max_candidates=args.candidates, cache=cache, seed=args.seed,
     )
     rows = [row for rep in reports for row in rep.rows()]
 
@@ -242,6 +269,9 @@ def cmd_tune(args, out=sys.stdout) -> int:
     print(f"tuned {len(reports)} shape(s) in {time.perf_counter() - t0:.1f}s "
           f"({args.dtype}, {threads} threads); "
           f"plan cache: {cache.path}", file=out)
+    if cache.save_error is not None:
+        print(f"warning: cache not persisted ({cache.save_error}); "
+              f"ran in-memory", file=out)
     for rep in reports:
         print(f"\n-- {rep.label}", file=out)
         for m in sorted(rep.measurements, key=lambda m: m.seconds):
@@ -257,6 +287,82 @@ def cmd_tune(args, out=sys.stdout) -> int:
     if args.csv:
         report.to_csv(rows, args.csv)
         print(f"\nwrote {len(rows)} measurements to {args.csv}", file=out)
+    return 0
+
+
+def _tune_online(args, shapes, threads, cache, out) -> int:
+    """``repro tune --policy online``: learn from simulated dispatches.
+
+    Feeds each shape through ``tuner.matmul`` with the online policy on
+    deterministic synthetic operands -- a dry run of exactly what a
+    production process would experience, useful for pre-warming a cache
+    with online-policy behaviour (and for demoing convergence).
+    """
+    from repro import tuner
+
+    t0 = time.perf_counter()
+    for p, q, r in shapes:
+        policy = tuner.OnlineTunePolicy(shortlist=args.candidates,
+                                        seed=args.seed,
+                                        max_dispatches=args.dispatches)
+        A, B = tuner.tuning_operands(p, q, r, dtype=args.dtype,
+                                     seed=args.seed)
+        n = 0
+        for n in range(1, args.dispatches + 1):
+            tuner.matmul(A, B, threads=threads, cache=cache, tune=policy)
+            if policy.converged(p, q, r, args.dtype, threads):
+                break
+        plan, source = tuner.get_plan(p, q, r, dtype=args.dtype,
+                                      threads=threads, cache=cache)
+        state = ("converged" if policy.converged(p, q, r, args.dtype, threads)
+                 else "still exploring" if source != "trivial" else "trivial")
+        print(f"-- {p}x{q}x{r}: {state} after {n} dispatch(es); "
+              f"plan {plan.describe()} [{source}]", file=out)
+    print(f"online-tuned {len(shapes)} shape(s) in "
+          f"{time.perf_counter() - t0:.1f}s ({args.dtype}, {threads} "
+          f"threads); plan cache: {cache.path}", file=out)
+    if cache.save_error is not None:
+        print(f"warning: cache not persisted ({cache.save_error}); "
+              f"ran in-memory", file=out)
+    return 0
+
+
+def cmd_cache(args, out=sys.stdout) -> int:
+    from repro import tuner
+    from repro.bench.machine import fingerprint_digest, machine_fingerprint
+
+    cache = tuner.PlanCache(args.cache) if args.cache else tuner.PlanCache()
+    if args.action == "show":
+        fp = machine_fingerprint()
+        print(f"plan cache: {cache.path}", file=out)
+        print(f"this machine: {fingerprint_digest()}  "
+              f"[cpu: {fp['cpu']}, cores: {fp['cores']}, "
+              f"blas: {fp['blas']}, numpy: {fp['numpy']}]", file=out)
+        stale = set(cache.stale_keys())
+        print(f"{len(cache)} entries, {len(stale)} stale", file=out)
+        for key, ent in cache.items():
+            try:
+                desc = tuner.Plan.from_dict(ent["plan"]).describe()
+            except (KeyError, TypeError, ValueError):
+                desc = "?"  # still show the row: this is a diagnosis tool
+            gf = ent.get("gflops")
+            perf = f"{gf:8.2f} eff.GFLOPS" if gf else " " * 17
+            # stale rows show the foreign digest so the operator can see
+            # which machine each entry came from
+            mark = ("fresh" if key not in stale
+                    else f"STALE ({ent.get('fingerprint', 'unstamped')})")
+            print(f"  {key:>32} -> {desc:<36} {perf} {mark}", file=out)
+        return 0
+    # invalidate: stale-only by default, so work tuned on this machine
+    # survives the sweep
+    removed = cache.invalidate(stale_only=not getattr(args, "all", False))
+    if removed and not cache.save():
+        print(f"error: could not rewrite {cache.path}: {cache.save_error}",
+              file=sys.stderr)
+        return 1
+    scope = "entries" if getattr(args, "all", False) else "stale entries"
+    print(f"removed {len(removed)} {scope} from {cache.path} "
+          f"({len(cache)} remain)", file=out)
     return 0
 
 
@@ -296,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": cmd_verify,
         "multiply": cmd_multiply,
         "tune": cmd_tune,
+        "cache": cmd_cache,
         "codegen": cmd_codegen,
         "search": cmd_search,
     }[args.command]

@@ -24,6 +24,7 @@ testing."  This module supplies both halves:
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
@@ -100,6 +101,49 @@ def measure_error_growth(
         C = multiply(A, B, alg, steps=s)
         errs.append(float(np.linalg.norm(C.astype(np.float64) - ref)) / norm)
     return ErrorMeasurement(alg.name, list(steps), errs)
+
+
+#: default growth-factor ceilings per dtype for tuner candidate pruning.
+#: float32 has ~2^-24 unit roundoff; allowing a 2^12 amplification keeps
+#: roughly half the mantissa, the paper's "single precision is fine for
+#: fast algorithms at moderate depth" regime.  float64 is lenient (2^20
+#: over 2^-53 still leaves >9 significant digits).
+GROWTH_BOUNDS = {"float32": 2.0 ** 12, "float64": 2.0 ** 20}
+
+
+def growth_bound(dtype: str = "float64") -> float:
+    """Max tolerated L-level amplification ``emax**L`` for ``dtype``."""
+    return GROWTH_BOUNDS.get(str(dtype), GROWTH_BOUNDS["float64"])
+
+
+def max_stable_steps(alg: FastAlgorithm, dtype: str = "float64",
+                     max_growth: float | None = None) -> int:
+    """Deepest recursion whose compounded growth stays within the bound.
+
+    The largest ``L`` with ``stability_factors(alg).growth(L) <=
+    max_growth`` (default: :func:`growth_bound` for ``dtype``).  The
+    tuner's float32 candidate space uses this so lower precision buys
+    *bounded* extra depth, never unbounded error amplification.
+    """
+    if max_growth is None:
+        max_growth = growth_bound(dtype)
+    emax = stability_factors(alg).emax
+    if emax <= 1.0:
+        return 1 << 30  # classical-like: no compounding to bound
+    return max(0, int(math.floor(math.log(max_growth) / math.log(emax))))
+
+
+def error_bound(alg: FastAlgorithm, steps: int, q: int, dtype: str) -> float:
+    """A-priori relative forward-error bound for ``steps`` levels.
+
+    The Bini-Lotti / Higham-style shape ``growth * q * eps``: the
+    classical inner-product term ``q * eps`` amplified by the compounded
+    per-level factor.  Deliberately loose (norm-wise, worst-case constant
+    dropped) -- it is the *ordering* and the dtype scaling that matter for
+    tuner pruning and for the property-test assertion.
+    """
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    return stability_factors(alg).growth(steps) * max(q, 1) * eps
 
 
 def diagonal_rescale_for_stability(alg: FastAlgorithm) -> FastAlgorithm:

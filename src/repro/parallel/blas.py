@@ -26,6 +26,7 @@ _SYMBOL_CANDIDATES = [
 
 _lock = threading.Lock()
 _lib = None
+_lib_path = None
 _get = None
 _set = None
 _probed = False
@@ -45,7 +46,7 @@ def _library_paths() -> list[str]:
 
 
 def _probe() -> None:
-    global _lib, _get, _set, _probed
+    global _lib, _lib_path, _get, _set, _probed
     if _probed:
         return
     with _lock:
@@ -62,7 +63,7 @@ def _probe() -> None:
                 if getter is not None and setter is not None:
                     getter.restype = ctypes.c_int
                     setter.argtypes = [ctypes.c_int]
-                    _lib, _get, _set = lib, getter, setter
+                    _lib, _lib_path, _get, _set = lib, path, getter, setter
                     _probed = True
                     return
         _probed = True
@@ -72,6 +73,16 @@ def is_controllable() -> bool:
     """True when the vendor BLAS exposes runtime thread control."""
     _probe()
     return _set is not None
+
+
+def library_name() -> str | None:
+    """Basename of the vendor BLAS shared library, or ``None`` if unprobed.
+
+    The machine fingerprint (``repro.bench.machine``) uses this to detect
+    a swapped BLAS (e.g. OpenBLAS -> MKL) between tuning runs.
+    """
+    _probe()
+    return os.path.basename(_lib_path) if _lib_path else None
 
 
 def get_threads() -> int:

@@ -6,13 +6,20 @@ parallel schedule depend on problem shape, dtype and thread count.  This
 subsystem turns that finding into machinery:
 
 - :mod:`repro.tuner.space`    -- the :class:`Plan` dataclass and candidate
-  enumeration, pruned/ranked by the ``core.cost`` analytical model;
+  enumeration (dtype-specific: float32 recurses deeper within its
+  stability budget), pruned/ranked by the ``core.cost`` analytical model;
 - :mod:`repro.tuner.measure`  -- timed trials (``tune`` / ``tune_shape``)
-  under a wall-clock budget, reporting effective GFLOPS;
+  under a wall-clock budget on deterministic seeded operands, reporting
+  effective GFLOPS;
 - :mod:`repro.tuner.cache`    -- the persistent, versioned JSON plan cache
   keyed by ``(m, k, n, dtype, threads)`` with nearest-shape fallback;
+  every entry carries a machine fingerprint, so a cache tuned on another
+  box is bypassed and re-tuned, never trusted;
+- :mod:`repro.tuner.policy`   -- pluggable tuning policies: ``never`` /
+  ``auto`` / ``always`` / ``online`` (budgeted epsilon-greedy exploration
+  during real calls, winner promoted into the cache);
 - :mod:`repro.tuner.dispatch` -- ``matmul(A, B)``: cache hit -> run the
-  plan; miss -> cost-model pick, optional online tuning.
+  plan; miss -> cost-model pick, learning per the selected policy.
 
 Quick start::
 
@@ -21,6 +28,10 @@ Quick start::
 
     tuner.tune([(1536, 1536, 1536)], budget_s=20)   # once, persisted
     C = tuner.matmul(A, B)                          # dispatches the winner
+
+    # or skip the offline pass: learn during real traffic
+    for A, B in workload:
+        C = tuner.matmul(A, B, tune="online")
 """
 
 from repro.tuner.cache import PlanCache, SCHEMA_VERSION, default_cache_path
@@ -36,23 +47,43 @@ from repro.tuner.measure import (
     measure_plan,
     tune,
     tune_shape,
+    tuning_operands,
+)
+from repro.tuner.policy import (
+    POLICIES,
+    AlwaysTunePolicy,
+    AutoTunePolicy,
+    OnlineTunePolicy,
+    TuningPolicy,
+    get_policy,
+    register_policy,
+    reset_shared_policies,
 )
 from repro.tuner.space import Plan, candidate_algorithms, enumerate_plans
 
 __all__ = [
     "Plan",
     "PlanCache",
+    "POLICIES",
     "SCHEMA_VERSION",
+    "AlwaysTunePolicy",
+    "AutoTunePolicy",
     "Measurement",
+    "OnlineTunePolicy",
     "ShapeReport",
+    "TuningPolicy",
     "candidate_algorithms",
     "default_cache_path",
     "enumerate_plans",
     "execute_plan",
     "get_plan",
+    "get_policy",
     "matmul",
     "measure_plan",
+    "register_policy",
     "reset_shared_cache",
+    "reset_shared_policies",
     "tune",
     "tune_shape",
+    "tuning_operands",
 ]

@@ -4,7 +4,18 @@ One JSON file maps problem keys ``(m, k, n, dtype, threads)`` to the best
 measured :class:`~repro.tuner.space.Plan` and its observed performance.
 The schema is versioned: a file written by an incompatible release is
 ignored (never half-parsed), and saving always rewrites the current
-schema atomically (write to a sibling temp file, then rename).
+schema atomically (write to a sibling temp file, then rename).  When the
+cache directory cannot be written (read-only home, sandbox), ``save``
+degrades to in-memory operation instead of raising -- dispatch keeps
+working, it just forgets between processes.
+
+Every entry is stamped with the **machine fingerprint** digest
+(:func:`repro.bench.machine.fingerprint_digest`) current when it was
+tuned.  The paper's core finding is that the best plan depends on the
+machine as much as on the shape, so an entry tuned under a different
+fingerprint (other CPU, other BLAS, other core count) is *stale*: lookups
+bypass it -- falling through to the cost model -- rather than trust it,
+and ``invalidate()`` clears exactly those entries.
 
 Untuned shapes fall back to the *nearest* tuned shape (same dtype and
 thread count, closest in log-space) -- the paper's Figure 5/6 regimes are
@@ -23,7 +34,8 @@ from pathlib import Path
 from repro.tuner.space import Plan
 
 #: bump when the on-disk layout changes incompatibly
-SCHEMA_VERSION = 1
+#: (v2: entries carry a machine-fingerprint stamp)
+SCHEMA_VERSION = 2
 
 #: default max log-space distance for the nearest-shape fallback
 #: (1.0 ~= one dimension off by a factor e)
@@ -56,15 +68,32 @@ class PlanCache:
     """Dictionary of tuned plans with JSON persistence.
 
     ``load`` is lazy and forgiving (missing file, bad JSON or a schema
-    mismatch all yield an empty cache); ``save`` is atomic.  Entries store
-    the plan plus the measured seconds/GFLOPS so reports can show what the
-    tuner believed when it committed to the plan.
+    mismatch all yield an empty cache); ``save`` is atomic, and degrades
+    to in-memory operation (``save_error`` set, ``False`` returned) when
+    the cache location is unwritable.  Entries store the plan plus the
+    measured seconds/GFLOPS so reports can show what the tuner believed
+    when it committed to the plan, and the machine-fingerprint digest so
+    entries tuned elsewhere are bypassed, not trusted.
+
+    ``fingerprint`` defaults to this machine's digest; tests forge it to
+    simulate a cache that traveled between boxes.
     """
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(self, path: str | Path | None = None,
+                 fingerprint: str | None = None):
         self.path = Path(path) if path is not None else default_cache_path()
+        self._fingerprint = fingerprint
         self._entries: dict[str, dict] = {}
         self._loaded = False
+        self.save_error: Exception | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            from repro.bench.machine import fingerprint_digest
+
+            self._fingerprint = fingerprint_digest()
+        return self._fingerprint
 
     # ------------------------------------------------------------- storage
     def load(self) -> "PlanCache":
@@ -84,26 +113,45 @@ class PlanCache:
             }
         return self
 
-    def save(self) -> None:
+    def save(self) -> bool:
+        """Write the cache atomically; ``False`` when it cannot persist.
+
+        A failure anywhere in the mkdir/write/rename sequence -- an
+        unwritable location (OSError) or an unserializable entry value
+        (TypeError/ValueError from ``json.dump``) -- marks the cache as
+        effectively in-memory (``save_error``) instead of propagating: a
+        read-only cache dir must not break dispatch.  The sibling temp
+        file is removed on any failure.
+        """
         payload = {"schema": SCHEMA_VERSION, "entries": self._entries}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-        )
+        tmp = None
         try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+            )
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, indent=1, sort_keys=True)
             os.replace(tmp, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            tmp = None
+        except (OSError, TypeError, ValueError) as e:
+            self.save_error = e
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        self.save_error = None
+        return True
 
     def _ensure(self) -> None:
         if not self._loaded:
             self.load()
+
+    def _fresh(self, ent: dict) -> bool:
+        return ent.get("fingerprint") == self.fingerprint
 
     # -------------------------------------------------------------- access
     def __len__(self) -> int:
@@ -114,12 +162,17 @@ class PlanCache:
         self._ensure()
         return sorted(self._entries)
 
+    def items(self) -> list[tuple[str, dict]]:
+        """All raw entries (including stale ones), sorted by key."""
+        self._ensure()
+        return sorted(self._entries.items())
+
     def get(self, m: int, k: int, n: int, dtype: str = "float64",
             threads: int = 1) -> Plan | None:
-        """Exact-key lookup."""
+        """Exact-key lookup; stale (foreign-fingerprint) entries miss."""
         self._ensure()
         ent = self._entries.get(problem_key(m, k, n, dtype, threads))
-        if ent is None:
+        if ent is None or not self._fresh(ent):
             return None
         try:
             return Plan.from_dict(ent["plan"])
@@ -128,7 +181,12 @@ class PlanCache:
 
     def entry(self, m: int, k: int, n: int, dtype: str = "float64",
               threads: int = 1) -> dict | None:
-        """Exact-key raw entry (plan dict + measured seconds/gflops)."""
+        """Exact-key raw entry (plan dict + measured seconds/gflops).
+
+        Unlike :meth:`get` this returns stale entries too (callers that
+        want the dispatch contract should use ``get``); reporting tools
+        inspect the ``fingerprint`` field themselves.
+        """
         self._ensure()
         return self._entries.get(problem_key(m, k, n, dtype, threads))
 
@@ -140,6 +198,7 @@ class PlanCache:
             "plan": plan.to_dict(),
             "seconds": seconds,
             "gflops": gflops,
+            "fingerprint": self.fingerprint,
         }
 
     def nearest(
@@ -149,13 +208,13 @@ class PlanCache:
         """Closest tuned shape with the same dtype and thread count.
 
         Distance is Euclidean in log-dimension space; ``None`` when
-        nothing tuned lies within ``radius``.
+        nothing tuned (and fingerprint-fresh) lies within ``radius``.
         """
         self._ensure()
         best, best_d = None, radius
         for key, ent in self._entries.items():
             parsed = _parse_key(key)
-            if parsed is None:
+            if parsed is None or not self._fresh(ent):
                 continue
             em, ek, en, edtype, et = parsed
             if edtype != dtype or et != threads:
@@ -173,6 +232,28 @@ class PlanCache:
             return Plan.from_dict(best["plan"])
         except (KeyError, TypeError, ValueError):
             return None
+
+    # -------------------------------------------------------- invalidation
+    def stale_keys(self) -> list[str]:
+        """Keys whose entries were tuned under a different fingerprint."""
+        self._ensure()
+        return sorted(k for k, v in self._entries.items()
+                      if not self._fresh(v))
+
+    def invalidate(self, stale_only: bool = True) -> list[str]:
+        """Drop stale entries (or, with ``stale_only=False``, everything).
+
+        Returns the removed keys; the caller decides whether to ``save``.
+        Fresh entries are untouched in the default mode -- re-tuning work
+        done on *this* machine is never thrown away by an invalidation
+        sweep.
+        """
+        self._ensure()
+        doomed = (self.stale_keys() if stale_only
+                  else sorted(self._entries))
+        for key in doomed:
+            del self._entries[key]
+        return doomed
 
     def clear(self) -> None:
         self._entries = {}

@@ -2,13 +2,17 @@
 
 Resolution order for a ``p x q x r`` problem (the subsystem's contract):
 
-1. **cache hit** -- the shape was tuned before: execute its plan verbatim
-   (deterministic: identical calls pick identical plans);
+1. **cache hit** -- the shape was tuned before *on this machine* (entries
+   stamped with a foreign machine fingerprint are bypassed, not trusted):
+   execute its plan verbatim (deterministic: identical calls pick
+   identical plans);
 2. **nearest neighbour** -- an adjacent tuned shape exists: borrow its plan
    (the paper's performance regimes are wide plateaus);
 3. **cost model** -- rank the candidate space analytically and run the
-   best plan untimed; optionally (``tune="auto"``) measure the shortlist
-   once and remember the winner for next time.
+   best plan untimed; the tuning *policy* (:mod:`repro.tuner.policy`)
+   decides whether and how to learn from the call: ``tune="auto"`` /
+   ``"always"`` run a blocking synthetic sweep, ``tune="online"``
+   explores the shortlist across real calls with amortized timing.
 
 Tiny problems skip all of it and go straight to the vendor BLAS: below the
 dgemm ramp-up knee no fast algorithm can win (Section 3.4).
@@ -24,14 +28,18 @@ from repro.parallel import blas
 from repro.parallel.pool import WorkerPool, available_cores
 from repro.parallel.schedules import multiply_parallel
 from repro.tuner.cache import PlanCache
-from repro.tuner.space import DEFAULT_MIN_LEAF, Plan, enumerate_plans
+from repro.tuner.policy import TuningPolicy, get_policy
+from repro.tuner.space import (
+    DEFAULT_MIN_LEAF,
+    Plan,
+    enumerate_plans,
+    trivial_dim,
+)
 from repro.util.validation import check_matmul_dims, require_2d
 
-#: problems whose smallest dimension is below this always run plain BLAS
+#: float64 threshold below which problems always run plain BLAS
+#: (dtype-aware callers use :func:`repro.tuner.space.trivial_dim`)
 TRIVIAL_DIM = 2 * DEFAULT_MIN_LEAF
-
-#: plans measured when dispatch tunes online (``tune="auto"``/"always")
-ONLINE_SHORTLIST = 4
 
 _default_cache: PlanCache | None = None
 
@@ -82,14 +90,17 @@ def get_plan(
 
     ``source`` is one of ``"trivial"``, ``"cache"``, ``"nearest"`` or
     ``"model"`` -- callers use it to decide whether online tuning is worth
-    the trouble (only ``"model"`` plans are unmeasured guesses).
+    the trouble (only ``"model"`` plans are unmeasured guesses).  Cache
+    and nearest lookups only ever return fingerprint-fresh entries; a
+    cache full of another machine's plans resolves to ``"model"``.
 
     ``threads`` defaults to every available core, the same default
     ``tune``/``matmul`` use, so a tune-then-dispatch pair agrees on the
-    cache key.
+    cache key.  The candidate space is dtype-specific (float32 recurses
+    deeper within its stability budget, see :mod:`repro.tuner.space`).
     """
     threads = threads or available_cores()
-    if min(p, q, r) < TRIVIAL_DIM:
+    if min(p, q, r) < trivial_dim(dtype):
         return Plan(threads=threads), "trivial"
     cache = cache if cache is not None else _shared_cache()
     plan = cache.get(p, q, r, dtype, threads)
@@ -98,7 +109,7 @@ def get_plan(
     plan = cache.nearest(p, q, r, dtype, threads)
     if plan is not None:
         return plan, "nearest"
-    plans = enumerate_plans(p, q, r, threads=threads)
+    plans = enumerate_plans(p, q, r, threads=threads, dtype=dtype)
     return plans[0], "model"
 
 
@@ -107,36 +118,36 @@ def matmul(
     B: np.ndarray,
     threads: int | None = None,
     cache: PlanCache | None = None,
-    tune: str = "never",
+    tune: str | TuningPolicy = "never",
     pool: WorkerPool | None = None,
 ) -> np.ndarray:
     """Multiply ``A @ B``, choosing the algorithm automatically.
 
     The public self-optimizing entry point: consults the plan cache (see
     :mod:`repro.tuner.cache`), falls back to the analytical cost model,
-    and -- when ``tune`` is ``"auto"`` (tune on a model miss) or
-    ``"always"`` (re-tune regardless) -- measures the candidate shortlist
-    on synthetic data of the same shape and remembers the winner.
+    and learns according to ``tune`` -- a policy name (``"never"``,
+    ``"auto"``, ``"always"``, ``"online"``) or a
+    :class:`~repro.tuner.policy.TuningPolicy` instance.  ``"online"``
+    explores the candidate shortlist across real calls (epsilon-greedy,
+    amortized timing) and promotes the winner into the cache once sampled;
+    see :mod:`repro.tuner.policy` for the full menu.
 
     ``threads`` defaults to every available core.
     """
     A = require_2d(A, "A")
     B = require_2d(B, "B")
     check_matmul_dims(A, B)
-    if tune not in ("never", "auto", "always"):
-        raise ValueError(f"tune must be never/auto/always, got {tune!r}")
+    policy = get_policy(tune)
     p, q = A.shape
     r = B.shape[1]
     dtype = np.result_type(A, B).name
     threads = threads or available_cores()
     cache = cache if cache is not None else _shared_cache()
-    plan, source = get_plan(p, q, r, dtype=dtype, threads=threads, cache=cache)
-    wants_tuning = tune == "always" or (tune == "auto" and source == "model")
-    if wants_tuning and source != "trivial":
-        from repro.tuner.measure import tune_shape
-
-        plan = tune_shape(
-            p, q, r, dtype=dtype, threads=threads, cache=cache,
-            max_candidates=ONLINE_SHORTLIST, trials=1, persist=True,
-        ).best.plan
+    plan, source = policy.select(p, q, r, dtype, threads, cache)
+    if policy.wants_timing(source):
+        t0 = policy.clock()
+        C = execute_plan(plan, A, B, pool=pool)
+        policy.observe(p, q, r, dtype, threads, cache, plan,
+                       policy.clock() - t0)
+        return C
     return execute_plan(plan, A, B, pool=pool)

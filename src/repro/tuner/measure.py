@@ -6,26 +6,54 @@ reports effective GFLOPS (Equation 3).  ``tune_shape`` sweeps the ranked
 candidate shortlist for one problem shape under a wall-clock budget and
 commits the winner to the plan cache; ``tune`` does that for many shapes
 and returns ``bench``-compatible result rows for reporting.
+
+Operand generation is deterministic: :func:`tuning_operands` derives a
+per-(shape, dtype) RNG stream from a single seed, so two tunes of the
+same shapes time *identical* matrices -- run-to-run tuning differences
+are then attributable to the machine, never to the data.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
+import zlib
+
+import numpy as np
 
 from repro.bench.metrics import effective_gflops, median_time
 from repro.bench.runner import ResultRow
 from repro.parallel.pool import WorkerPool, available_cores
+from repro.tuner import dispatch
 from repro.tuner.cache import PlanCache
-from repro.tuner.dispatch import execute_plan, _shared_cache
+from repro.tuner.dispatch import _shared_cache
 from repro.tuner.space import Plan, enumerate_plans
-from repro.util.matrices import random_matrix
 
 #: default per-shape wall-clock budget for a tuning sweep (seconds)
 DEFAULT_BUDGET_S = 30.0
 
 #: default size of the measured shortlist per shape
 DEFAULT_CANDIDATES = 8
+
+
+def tuning_operands(
+    p: int, q: int, r: int, dtype: str = "float64", seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic ``(A, B)`` test operands for tuning one shape.
+
+    The stream is seeded from ``(seed, p, q, r, dtype)`` via a
+    ``SeedSequence``, so repeated tunes of a shape see bit-identical
+    operands (reproducible timings) while different shapes/dtypes get
+    statistically independent data (no accidental structure shared
+    across the sweep).
+    """
+    ss = np.random.SeedSequence(
+        [seed, p, q, r, zlib.crc32(str(dtype).encode())]
+    )
+    g_a, g_b = (np.random.default_rng(c) for c in ss.spawn(2))
+    A = (2.0 * g_a.random((p, q)) - 1.0).astype(dtype, copy=False)
+    B = (2.0 * g_b.random((q, r)) - 1.0).astype(dtype, copy=False)
+    return A, B
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,7 +112,7 @@ def measure_plan(
     p, q = A.shape
     r = B.shape[1]
     sec = median_time(
-        lambda: execute_plan(plan, A, B, pool=pool),
+        lambda: dispatch.execute_plan(plan, A, B, pool=pool),
         trials=trials, warmup=warmup,
     )
     return Measurement(plan, sec, effective_gflops(p, q, r, sec))
@@ -116,9 +144,8 @@ def tune_shape(
     """
     threads = threads or available_cores()
     cache = cache if cache is not None else _shared_cache()
-    A = random_matrix(p, q, seed, dtype=dtype)
-    B = random_matrix(q, r, seed + 1, dtype=dtype)
-    plans = enumerate_plans(p, q, r, threads=threads,
+    A, B = tuning_operands(p, q, r, dtype=dtype, seed=seed)
+    plans = enumerate_plans(p, q, r, threads=threads, dtype=dtype,
                             max_candidates=max_candidates)
     deadline = time.monotonic() + budget_s
     measured: list[Measurement] = []
@@ -150,6 +177,7 @@ def tune(
     cache: PlanCache | None = None,
     persist: bool = True,
     verbose: bool = False,
+    seed: int = 0,
 ) -> list[ShapeReport]:
     """Tune a list of ``(p, q, r)`` shapes; ``budget_s`` is per shape.
 
@@ -157,7 +185,9 @@ def tune(
     for ``bench.report`` rendering).  ``threads`` defaults to every
     available core, matching ``matmul``'s dispatch default.
     Parallel-scheme measurements share one worker pool so repeated shapes
-    don't pay pool startup each time.
+    don't pay pool startup each time.  ``seed`` feeds
+    :func:`tuning_operands`, so two runs over the same shape list measure
+    identical data.
     """
     threads = threads or available_cores()
     reports: list[ShapeReport] = []
@@ -167,7 +197,7 @@ def tune(
             rep = tune_shape(
                 p, q, r, dtype=dtype, threads=threads, budget_s=budget_s,
                 trials=trials, max_candidates=max_candidates, cache=cache,
-                persist=persist, pool=pool,
+                persist=persist, pool=pool, seed=seed,
             )
             if verbose:
                 print(f"-- {rep.label} ({dtype}, {threads} threads)")

@@ -16,6 +16,7 @@ import functools
 
 from repro.algorithms import get_algorithm, list_algorithms
 from repro.core.cost import plan_cost
+from repro.core.stability import max_stable_steps
 from repro.core.transforms import permutation_family
 from repro.parallel.schedules import SCHEMES
 
@@ -27,8 +28,36 @@ PLAN_SCHEMES = ("sequential",) + SCHEMES
 #: dgemm ramp-up curve (Section 3.4); recursion stops there.
 DEFAULT_MIN_LEAF = 64
 
+#: the float32 space recurses deeper: sgemm's ramp-up knee sits lower
+#: (half the bytes per entry, double the FMA width), so smaller leaves
+#: still run at full rate -- Huang et al. (FLAME WN #82) observe the
+#: crossover points shift accordingly.  Depth stays bounded by
+#: ``core.stability.max_stable_steps``: lower precision buys depth only
+#: while the compounded growth factor keeps half the mantissa.
+FLOAT32_MIN_LEAF = 32
+
+#: recursion-depth caps per space (float32 may go one deeper, stability
+#: permitting)
+MAX_STEPS = {"float32": 4, "float64": 3}
+
 #: plain-BLAS pseudo-algorithm name usable in plans
 DGEMM = "dgemm"
+
+
+def default_min_leaf(dtype: str = "float64") -> int:
+    """Leaf cutoff for a dtype's candidate space."""
+    return FLOAT32_MIN_LEAF if str(dtype) == "float32" else DEFAULT_MIN_LEAF
+
+
+def trivial_dim(dtype: str = "float64") -> int:
+    """Problems with any dimension below this go straight to plain BLAS.
+
+    Twice the dtype's leaf cutoff: one recursive step would already
+    produce sub-cutoff leaves, so no fast plan can exist (Section 3.4).
+    Dtype-aware for the same reason the leaf cutoff is -- float32's knee
+    sits lower, so its fast-path region starts earlier.
+    """
+    return 2 * default_min_leaf(dtype)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,9 +159,10 @@ def enumerate_plans(
     q: int,
     r: int,
     threads: int = 1,
-    min_leaf: int = DEFAULT_MIN_LEAF,
+    min_leaf: int | None = None,
     max_candidates: int | None = None,
     add_penalty: float = 4.0,
+    dtype: str = "float64",
 ) -> list[Plan]:
     """Candidate plans for one shape, best-ranked (by the cost model) first.
 
@@ -140,7 +170,17 @@ def enumerate_plans(
     whose leaves drop below ``min_leaf`` are skipped, and fast plans whose
     modeled cost exceeds plain dgemm are dropped (they cannot win).  The
     dgemm baseline plan is always included, so the list is never empty.
+
+    The space is dtype-specific: float32 uses a lower leaf cutoff and a
+    deeper step cap (``FLOAT32_MIN_LEAF`` / ``MAX_STEPS``), but every
+    (algorithm, steps) pair is additionally bounded by
+    :func:`repro.core.stability.max_stable_steps` so the extra depth never
+    exceeds the precision's growth budget.
     """
+    dtype = str(dtype)
+    if min_leaf is None:
+        min_leaf = default_min_leaf(dtype)
+    cap = MAX_STEPS.get(dtype, MAX_STEPS["float64"])
     schemes = ("sequential",) if threads <= 1 else SCHEMES[:3]
     scored: list[tuple[float, Plan]] = [
         (plan_cost(None, p, q, r, 0), Plan(threads=threads, min_leaf=min_leaf))
@@ -148,7 +188,9 @@ def enumerate_plans(
     dgemm_cost = scored[0][0]
     for name in candidate_algorithms():
         alg = get_algorithm(name)
-        depth = max_useful_steps(alg.base_case, p, q, r, min_leaf=min_leaf)
+        depth = max_useful_steps(alg.base_case, p, q, r,
+                                 min_leaf=min_leaf, cap=cap)
+        depth = min(depth, max_stable_steps(alg, dtype))
         for steps in range(1, depth + 1):
             cost = plan_cost(alg, p, q, r, steps, add_penalty=add_penalty)
             if cost >= dgemm_cost:

@@ -96,9 +96,11 @@ def matmul(A: np.ndarray, B: np.ndarray, **kwargs) -> np.ndarray:
     the analytical cost model, and learns per the ``tune`` policy --
     ``"auto"`` measures the candidate shortlist once and remembers the
     winner; ``"online"`` explores it across real calls with amortized
-    timing and promotes the winner into the cache.  See
-    :func:`repro.tuner.matmul` and :mod:`repro.tuner.policy` for the full
-    parameter list.
+    timing and promotes the winner into the cache.  With ``out=C`` a
+    repeat call for a cached shape is allocation-free: plan, workspace
+    arena (:mod:`repro.core.workspace`), worker pool and destination are
+    all reused.  See :func:`repro.tuner.matmul` and
+    :mod:`repro.tuner.policy` for the full parameter list.
     """
     from repro import tuner
 

@@ -183,7 +183,10 @@ def cmd_multiply(args, out=sys.stdout) -> int:
             p, q, r, dtype=np.result_type(A, B).name,
             threads=args.threads, cache=cache,
         )
-        fast = lambda: tuner.execute_plan(plan, A, B)  # noqa: E731
+        # same arena-backed path dispatch serves, so the printed numbers
+        # describe what repro.matmul would actually do for this shape
+        ws = tuner.workspace_for(plan, p, q, r, A.dtype, B.dtype)
+        fast = lambda: tuner.execute_plan(plan, A, B, workspace=ws)  # noqa: E731
         label = f"auto: {plan.describe()} [{source}]"
     elif args.native:
         from repro.codegen import cbackend

@@ -11,9 +11,18 @@ The paper's framework (Section 2) is reproduced here:
                      dynamic peeling and cutoff policies
 - ``apa``         -- arbitrary-precision-approximate (APA) machinery
 - ``cost``        -- arithmetic/communication/memory cost models
+- ``workspace``   -- preallocated arenas with the Section 4.1/4.2 footprint
+                     formulas (zero-allocation steady state for hot paths)
 """
 
 from repro.core.algorithm import FastAlgorithm, EXACT_TOL
 from repro.core.tensor import matmul_tensor
+from repro.core.workspace import Workspace, track_allocations
 
-__all__ = ["FastAlgorithm", "EXACT_TOL", "matmul_tensor"]
+__all__ = [
+    "FastAlgorithm",
+    "EXACT_TOL",
+    "matmul_tensor",
+    "Workspace",
+    "track_allocations",
+]

@@ -11,16 +11,31 @@ given any ``FastAlgorithm`` it multiplies arbitrary-size matrices by
 3. stopping after ``steps`` recursion levels -- or earlier when a block
    dimension would vanish or a cutoff policy says the subproblem has left
    the flat part of the dgemm curve (Section 3.4).
+
+Both entry points accept ``out=`` (write the product into caller storage)
+and ``workspace=`` (a :class:`repro.core.workspace.Workspace` arena holding
+the per-level ``S``/``T``/``M_r`` triples of Section 4.1).  With both
+supplied, a call performs no array allocations at steady state; the
+arithmetic is the *same sequence of ufunc/gemm calls* as the allocating
+path, so results match it bit for bit.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import inspect
+import weakref
 from typing import Callable
 
 import numpy as np
 
 from repro.core.algorithm import FastAlgorithm
+from repro.core.workspace import (
+    Workspace,
+    check_out,
+    needs_scratch,
+    scratch_view,
+)
 from repro.util.matrices import block_views, peel_split
 from repro.util.validation import check_matmul_dims, require_2d
 
@@ -30,6 +45,56 @@ BaseMultiply = Callable[[np.ndarray, np.ndarray], np.ndarray]
 def _dot(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     """Default base case: the vendor BLAS gemm (numpy/OpenBLAS dgemm)."""
     return A @ B
+
+
+#: weak memo so a throwaway lambda base (and everything its closure pins)
+#: is collectable the moment the caller drops it
+_accepts_out_memo: "weakref.WeakKeyDictionary[Callable, bool]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _signature_accepts_out(base: Callable) -> bool:
+    try:
+        return _accepts_out_memo[base]
+    except (KeyError, TypeError):  # miss, or a non-weakrefable builtin
+        pass
+    try:
+        result = "out" in inspect.signature(base).parameters
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        result = False
+    try:
+        _accepts_out_memo[base] = result
+    except TypeError:
+        pass
+    return result
+
+
+def _base_accepts_out(base: Callable) -> bool:
+    """Whether a base-case callable takes an ``out=`` destination.
+
+    Checked at every leaf, so the ``inspect.signature`` reflection is
+    memoized (weakly) per callable; setting a ``_accepts_out`` attribute
+    on the callable skips it entirely.
+    """
+    accepts = getattr(base, "_accepts_out", None)
+    if accepts is not None:
+        return bool(accepts)
+    return _signature_accepts_out(base)
+
+
+def _leaf(base: BaseMultiply, A: np.ndarray, B: np.ndarray,
+          out: np.ndarray | None) -> np.ndarray:
+    """Run the base case, writing into ``out`` when one is supplied."""
+    if out is None:
+        return base(A, B)
+    if base is _dot:
+        np.matmul(A, B, out=out)
+        return out
+    if _base_accepts_out(base):
+        return base(A, B, out=out)
+    np.copyto(out, base(A, B))
+    return out
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,13 +118,23 @@ class CutoffPolicy:
 
 
 def combine_blocks(
-    blocks: list[np.ndarray], coeffs: np.ndarray
+    blocks: list[np.ndarray],
+    coeffs: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray | None:
     """Form ``sum_i coeffs[i] * blocks[i]`` skipping zeros.
 
     Returns a *view* (no copy) when the combination is a single block with
     coefficient 1 -- the memory-saving special case of Section 3.1.  Returns
     None when all coefficients are zero.
+
+    With ``out=`` the chain is written into caller storage fused
+    (``np.multiply``/``np.add``/``np.subtract`` with ``out``); a byte
+    ``scratch`` buffer additionally absorbs the ``c * block`` products of
+    coefficients outside {0, +-1}, making the chain allocation-free.  The
+    fused path performs the identical ufunc sequence on identical values,
+    so it is bit-for-bit equal to the allocating path.
     """
     nz = np.nonzero(coeffs)[0]
     if nz.size == 0:
@@ -69,14 +144,28 @@ def combine_blocks(
     # silently upcast float32 blocks
     c0 = float(coeffs[first])
     if nz.size == 1:
-        return blocks[first] if c0 == 1.0 else c0 * blocks[first]
-    out = blocks[first] * c0 if c0 != 1.0 else blocks[first].copy()
+        if c0 == 1.0:
+            return blocks[first]
+        if out is None:
+            return c0 * blocks[first]
+        np.multiply(blocks[first], c0, out=out)
+        return out
+    if out is None:
+        out = blocks[first] * c0 if c0 != 1.0 else blocks[first].copy()
+    elif c0 == 1.0:
+        np.copyto(out, blocks[first])
+    else:
+        np.multiply(blocks[first], c0, out=out)
     for i in nz[1:]:
         c = float(coeffs[i])
         if c == 1.0:
-            out += blocks[i]
+            np.add(out, blocks[i], out=out)
         elif c == -1.0:
-            out -= blocks[i]
+            np.subtract(out, blocks[i], out=out)
+        elif scratch is not None:
+            t = scratch_view(scratch, out.shape, out.dtype)
+            np.multiply(blocks[i], c, out=t)
+            np.add(out, t, out=out)
         else:
             out += c * blocks[i]
     return out
@@ -89,20 +178,33 @@ def multiply(
     steps: int = 1,
     base: BaseMultiply | None = None,
     cutoff: CutoffPolicy | None = None,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Multiply ``A @ B`` with ``algorithm``, recursing ``steps`` levels.
 
     ``base`` is called on the leaf subproblems (default: BLAS gemm); the
     classical algorithm is also used for all peeling fix-ups, mirroring the
     generated code.
+
+    ``out`` receives the product (it must match ``(p, r)`` and the result
+    dtype and must not overlap ``A``/``B`` -- see
+    :func:`repro.core.workspace.check_out`).  ``workspace`` supplies the
+    per-level ``S``/``T``/``M_r`` buffers; build one with
+    ``Workspace.for_recursion([algorithm.base_case] * steps, p, q, r,
+    A.dtype, B.dtype)``.  With both, a warm call allocates nothing.
     """
     A = require_2d(A, "A")
     B = require_2d(B, "B")
     check_matmul_dims(A, B)
+    if out is not None:
+        out = check_out(out, A, B)
     if base is None:
         base = _dot
     policy = cutoff if cutoff is not None else CutoffPolicy(max_steps=steps)
-    return _recurse(A, B, algorithm, 0, base, policy)
+    if workspace is not None:
+        workspace.reset()
+    return _recurse(A, B, algorithm, 0, base, policy, out=out, ws=workspace)
 
 
 def _recurse(
@@ -112,12 +214,14 @@ def _recurse(
     step: int,
     base: BaseMultiply,
     policy: CutoffPolicy,
+    out: np.ndarray | None = None,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     p, q = A.shape
     r = B.shape[1]
     m, k, n = alg.base_case
     if not policy.should_recurse(step, p, q, r, m, k, n):
-        return base(A, B)
+        return _leaf(base, A, B, out)
 
     # ---- dynamic peeling: carve the evenly divisible core ----
     A11, A12, A21, A22 = peel_split(A, m, k)
@@ -125,21 +229,33 @@ def _recurse(
     pc, qc = A11.shape
     rc = B11.shape[1]
 
-    C = np.empty((p, r), dtype=np.result_type(A, B))
+    # the top-level C is the caller's ``out`` or a fresh array -- never
+    # arena memory, which the next call would overwrite
+    C = out if out is not None else np.empty((p, r), dtype=np.result_type(A, B))
     Ccore = C[:pc, :rc]
 
     # ---- fast product on the core ----
-    _core_multiply(A11, B11, Ccore, alg, step, base, policy)
+    _core_multiply(A11, B11, Ccore, alg, step, base, policy, ws)
 
     # ---- boundary fix-ups with thin classical products ----
     if q - qc:  # inner-dimension strip contributes to the core block of C
-        Ccore += A12 @ B21
+        # the one full-core-size (pc x rc) fix-up product: draw it from the
+        # arena so non-divisible shapes stay allocation-free too (the other
+        # strips below are O(boundary)-thin and negligible)
+        if ws is not None:
+            fix_mark = ws.mark()
+            t = ws.take((pc, rc), C.dtype)
+            np.matmul(A12, B21, out=t)
+            np.add(Ccore, t, out=Ccore)
+            ws.release(fix_mark)
+        else:
+            Ccore += A12 @ B21
     if r - rc:  # right strip of C
-        C[:pc, rc:] = A11 @ B12
+        np.matmul(A11, B12, out=C[:pc, rc:])
         if q - qc:
             C[:pc, rc:] += A12 @ B22
     if p - pc:  # bottom strip of C
-        C[pc:, :rc] = A21 @ B11
+        np.matmul(A21, B11, out=C[pc:, :rc])
         if q - qc:
             C[pc:, :rc] += A22 @ B21
     if (p - pc) and (r - rc):  # corner
@@ -152,6 +268,8 @@ def multiply_schedule(
     B: np.ndarray,
     schedule: list[FastAlgorithm],
     base: BaseMultiply | None = None,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Multiply using a *different* algorithm at each recursion level.
 
@@ -160,24 +278,38 @@ def multiply_schedule(
     algorithm with ``prod(R_i)`` total multiplications and exponent
     ``3 log_54 40 ~= 2.775`` when every level has rank 40.  Recursion depth
     equals ``len(schedule)``; dynamic peeling applies at every level.
+
+    ``out``/``workspace`` follow :func:`multiply`; size the arena with
+    ``Workspace.for_recursion([alg.base_case for alg in schedule], ...)``.
     """
     A = require_2d(A, "A")
     B = require_2d(B, "B")
     check_matmul_dims(A, B)
+    if out is not None:
+        out = check_out(out, A, B)
     if base is None:
         base = _dot
+    if workspace is not None:
+        workspace.reset()
     if not schedule:
-        return base(A, B)
+        return _leaf(base, A, B, out)
 
-    def run(X: np.ndarray, Y: np.ndarray, level: int) -> np.ndarray:
+    def run(X: np.ndarray, Y: np.ndarray, level: int,
+            out: np.ndarray | None = None) -> np.ndarray:
         if level >= len(schedule):
-            return base(X, Y)
+            return _leaf(base, X, Y, out)
         alg = schedule[level]
-        # one-level policy: recurse exactly once here, deeper via closure
-        inner_base = lambda S, T: run(S, T, level + 1)  # noqa: E731
-        return multiply(X, Y, alg, steps=1, base=inner_base)
 
-    return run(A, B, 0)
+        # one-level policy: recurse exactly once here, deeper via closure
+        def inner_base(S: np.ndarray, T: np.ndarray,
+                       out: np.ndarray | None = None) -> np.ndarray:
+            return run(S, T, level + 1, out=out)
+
+        inner_base._accepts_out = True
+        return _recurse(X, Y, alg, 0, inner_base, CutoffPolicy(max_steps=1),
+                        out=out, ws=workspace)
+
+    return run(A, B, 0, out=out)
 
 
 def _core_multiply(
@@ -188,6 +320,7 @@ def _core_multiply(
     step: int,
     base: BaseMultiply,
     policy: CutoffPolicy,
+    ws: Workspace | None = None,
 ) -> None:
     """One recursion level on an evenly divisible core, writing into C."""
     m, k, n = alg.base_case
@@ -196,12 +329,34 @@ def _core_multiply(
     blocksC = block_views(C, m, n)
     started = [False] * len(blocksC)
 
+    S_buf = T_buf = M_buf = scratch = None
+    level_mark = None
+    if ws is not None:
+        # one S/T/M_r triple per level, reused across all R ranks and all
+        # sibling subtrees -- the Section 4.1 DFS memory discipline
+        level_mark = ws.mark()
+        bp, bq = blocksA[0].shape
+        br = blocksB[0].shape[1]
+        S_buf = ws.take((bp, bq), A.dtype)
+        T_buf = ws.take((bq, br), B.dtype)
+        M_buf = ws.take((bp, br), C.dtype)
+        if (needs_scratch(alg.U) or needs_scratch(alg.V)
+                or needs_scratch(alg.W)):
+            scratch = ws.take_scratch(max(S_buf.nbytes, T_buf.nbytes,
+                                          M_buf.nbytes))
+
     for rr in range(alg.rank):
-        S = combine_blocks(blocksA, alg.U[:, rr])
-        T = combine_blocks(blocksB, alg.V[:, rr])
+        S = combine_blocks(blocksA, alg.U[:, rr], out=S_buf, scratch=scratch)
+        T = combine_blocks(blocksB, alg.V[:, rr], out=T_buf, scratch=scratch)
         if S is None or T is None:
             continue  # dead product (possible in composed algorithms)
-        Mr = _recurse(S, T, alg, step + 1, base, policy)
+        if ws is None:
+            Mr = _recurse(S, T, alg, step + 1, base, policy)
+        else:
+            inner = ws.mark()
+            Mr = _recurse(S, T, alg, step + 1, base, policy,
+                          out=M_buf, ws=ws)
+            ws.release(inner)
         wcol = alg.W[:, rr]
         for i in np.nonzero(wcol)[0]:
             c = float(wcol[i])
@@ -216,8 +371,14 @@ def _core_multiply(
                 blk += Mr
             elif c == -1.0:
                 blk -= Mr
+            elif scratch is not None:
+                t = scratch_view(scratch, blk.shape, blk.dtype)
+                np.multiply(Mr, c, out=t)
+                np.add(blk, t, out=blk)
             else:
                 blk += c * Mr
+    if ws is not None:
+        ws.release(level_mark)
     for i, s in enumerate(started):
         if not s:  # all-zero W row can only happen for degenerate inputs
             blocksC[i][:] = 0.0

@@ -1,0 +1,422 @@
+"""Workspace arenas: zero-allocation steady state for the hot paths.
+
+The paper's shared-memory implementation (Section 4) wins because the
+temporaries of a fast algorithm are managed deliberately: DFS reuses one
+``S``/``T``/``M_r`` buffer set per recursion level, while BFS pays a known
+``~R/(MN)`` extra-memory factor per level for task parallelism.  The
+executors in this repository originally allocated fresh arrays for every
+rank of every level on every call; for the repeated mid-size products the
+tuner serves, allocator traffic and page faulting eat a large slice of the
+fast-algorithm advantage.  A :class:`Workspace` computes the *exact* buffer
+footprint of an (algorithm, steps, shape, dtype, scheme) plan up front,
+allocates it once, and hands out reusable views, so a warm
+``repro.matmul(A, B, out=C)`` performs no large allocations at all.
+
+Footprint formulas (derivations follow the paper's Sections 4.1/4.2):
+
+**DFS / sequential** (Section 4.1).  At recursion level ``l`` the core
+problem has dimensions ``(p_l, q_l, r_l)`` with ``p_{l+1} = floor(p_l'/M)``
+where ``p_l' = p_l - (p_l mod M)`` is the peeled core (Section 3.5), and
+similarly for ``q`` (by ``K``) and ``r`` (by ``N``).  Depth-first order
+touches one rank at a time, so a single ``S`` (``p_{l+1} x q_{l+1}``),
+``T`` (``q_{l+1} x r_{l+1}``) and ``M_r`` (``p_{l+1} x r_{l+1}``) buffer
+per level is reused across all ``R`` ranks *and* across sibling subtrees::
+
+    W_dfs = sum_{l=1}^{L} (p_l q_l + q_l r_l + p_l r_l + max-block scratch)
+
+This is the paper's observation that DFS needs no extra memory beyond one
+temporary set per level.  The scratch term holds ``c * X`` products for
+coefficients outside {0, +-1} so the addition chains run fused
+(``np.multiply``/``np.add`` with ``out=``) with no hidden temporaries.
+
+**BFS / hybrid** (Section 4.2).  Level-synchronous expansion materializes
+*every* ``(S_r, T_r)`` pair of a level at once: level ``l`` holds
+``R^l`` nodes of dimensions ``(p_l, q_l, r_l)``, i.e. per additional level
+the ``S``/``T`` pools grow by a factor ``R/(MK)`` resp. ``R/(KN)`` of the
+input and the result pool by ``R/(MN)`` of the output -- the paper's
+"extra memory per level" argument::
+
+    W_bfs = sum_{l=1}^{L} R^l (p_l q_l + q_l r_l)          # S/T pools
+          + sum_{l=1}^{L} R^l (p_l r_l)                    # result pools
+
+The paper frees each level's pool as the combine sweep walks back up the
+tree; an arena instead *retains* the full-tree footprint so the next call
+reuses it -- steady-state reuse across calls supersedes intra-call
+freeing, and the geometric series is dominated by the deepest level
+anyway.  Per-level pools are laid out contiguously in expansion order, so
+the combine sweep still releases them level by level logically (the bump
+pointer rewinds wholesale at the next ``reset``).
+
+All sizes are computed by *simulating* the executor's level loop
+(:func:`dfs_level_shapes` / :func:`bfs_level_shapes`), so peeling, early
+termination (a dimension dropping below the base case) and composed
+per-level schedules are all accounted exactly rather than bounded.
+
+The arena is not thread-safe for concurrent ``take`` calls; the parallel
+schedules preassign every buffer *before* fanning tasks out, which is also
+what makes the assignment deterministic.  If a caller outgrows the arena
+(e.g. a custom cutoff policy recursing deeper than the plan declared),
+``take`` degrades to a plain allocation and counts it in
+``overflow_allocations`` instead of failing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import tracemalloc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: byte alignment of every handed-out buffer (one cache line)
+ALIGNMENT = 64
+
+#: slack added per expected ``take`` to absorb alignment rounding
+_ALIGN_SLACK = ALIGNMENT
+
+
+def _prod(shape: Iterable[int]) -> int:
+    return math.prod(int(s) for s in shape)
+
+
+def _align_up(n: int) -> int:
+    return -(-n // ALIGNMENT) * ALIGNMENT
+
+
+class Workspace:
+    """A bump-pointer arena over one contiguous preallocated buffer.
+
+    ``take(shape, dtype)`` returns a C-contiguous, cache-line-aligned view;
+    ``mark()``/``release(mark)`` give stack-discipline reuse (the DFS
+    recursion releases a level's buffers when the subtree returns);
+    ``reset()`` rewinds everything at the start of a call.  Requests beyond
+    capacity fall back to ``np.empty`` (counted, never fatal).
+    """
+
+    def __init__(self, nbytes: int):
+        self._buf = np.empty(max(int(nbytes), ALIGNMENT), dtype=np.uint8)
+        # absolute alignment: offset 0 of the arena is cache-line aligned
+        self._base = (-self._buf.ctypes.data) % ALIGNMENT
+        self._top = 0
+        self.high_water = 0
+        self.overflow_allocations = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self._buf.nbytes
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Rewind the bump pointer; every prior view becomes reusable."""
+        self._top = 0
+
+    def mark(self) -> int:
+        return self._top
+
+    def release(self, mark: int) -> None:
+        self._top = mark
+
+    # ------------------------------------------------------------- hand-out
+    def _carve(self, nbytes: int) -> np.ndarray | None:
+        start = _align_up(self._top)
+        end = start + nbytes
+        if end + self._base > self._buf.nbytes:
+            return None
+        self._top = end
+        if end > self.high_water:
+            self.high_water = end
+        return self._buf[self._base + start : self._base + end]
+
+    def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A C-contiguous ``shape``/``dtype`` view of the arena."""
+        dtype = np.dtype(dtype)
+        raw = self._carve(_prod(shape) * dtype.itemsize)
+        if raw is None:
+            self.overflow_allocations += 1
+            return np.empty(shape, dtype=dtype)
+        return raw.view(dtype).reshape(shape)
+
+    def take_scratch(self, nbytes: int) -> np.ndarray:
+        """An untyped byte buffer (viewed per use via :func:`scratch_view`)."""
+        raw = self._carve(int(nbytes))
+        if raw is None:
+            self.overflow_allocations += 1
+            return np.empty(int(nbytes), dtype=np.uint8)
+        return raw
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def for_recursion(
+        cls,
+        base_cases: Sequence[tuple[int, int, int]],
+        p: int,
+        q: int,
+        r: int,
+        dtype_a="float64",
+        dtype_b=None,
+        algorithms: Sequence | None = None,
+    ) -> "Workspace":
+        """Arena for the DFS/sequential executors (Section 4.1 footprint).
+
+        ``base_cases`` is one ``(M, K, N)`` per recursion level -- repeat a
+        single algorithm's base case ``steps`` times, or pass a composed
+        schedule's per-level cases.  Passing the matching ``algorithms``
+        lets the footprint drop the per-level scratch for coefficient
+        matrices over {0, +-1} (most of the catalog), which the executors
+        never take.
+        """
+        nbytes = dfs_footprint(base_cases, p, q, r, dtype_a, dtype_b,
+                               algorithms=algorithms)
+        return cls(nbytes)
+
+    @classmethod
+    def for_parallel(
+        cls,
+        algorithm,
+        steps: int,
+        p: int,
+        q: int,
+        r: int,
+        dtype_a="float64",
+        dtype_b=None,
+    ) -> "Workspace":
+        """Arena for the BFS/hybrid task tree (Section 4.2 footprint)."""
+        nbytes = bfs_footprint(algorithm, steps, p, q, r, dtype_a, dtype_b)
+        return cls(nbytes)
+
+
+# ---------------------------------------------------------------------------
+# scratch views and out= validation (shared by all three execution layers)
+# ---------------------------------------------------------------------------
+def scratch_view(scratch: np.ndarray, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """Reinterpret the head of a byte ``scratch`` buffer as ``shape``/``dtype``."""
+    dtype = np.dtype(dtype)
+    nbytes = _prod(shape) * dtype.itemsize
+    return scratch[:nbytes].view(dtype).reshape(shape)
+
+
+def needs_scratch(coeffs: np.ndarray) -> bool:
+    """Whether a coefficient matrix forces ``c * X`` scaling temporaries.
+
+    Chains over {0, +-1} lower to pure ``np.add``/``np.subtract`` and never
+    need one; anything else needs a scratch buffer to stay allocation-free.
+    """
+    c = np.asarray(coeffs)
+    return not bool(np.all((c == 0.0) | (c == 1.0) | (c == -1.0)))
+
+
+def check_out(out: np.ndarray, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Validate an ``out=`` destination for ``A @ B``.
+
+    Raises ``ValueError`` on wrong shape/dtype, a read-only destination, or
+    an ``out`` that (possibly) overlaps ``A`` or ``B`` -- the executors
+    write ``C`` blocks while ``A``/``B`` blocks are still being read, so
+    aliasing would silently corrupt the product.
+    """
+    if not isinstance(out, np.ndarray) or out.ndim != 2:
+        raise ValueError("out must be a 2-D ndarray")
+    expect = (A.shape[0], B.shape[1])
+    if out.shape != expect:
+        raise ValueError(f"out has shape {out.shape}, expected {expect}")
+    dtype = np.result_type(A, B)
+    if out.dtype != dtype:
+        raise ValueError(f"out has dtype {out.dtype}, expected {dtype}")
+    if not out.flags.writeable:
+        raise ValueError("out must be writeable")
+    if np.may_share_memory(out, A) or np.may_share_memory(out, B):
+        raise ValueError("out must not overlap A or B")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# footprint formulas (Sections 4.1 / 4.2)
+# ---------------------------------------------------------------------------
+def dfs_level_shapes(
+    base_cases: Sequence[tuple[int, int, int]], p: int, q: int, r: int
+) -> list[tuple[int, int, int]]:
+    """Per-level ``(S rows, S cols == T rows, T cols)`` of the DFS recursion.
+
+    Simulates dynamic peeling level by level: the level-``l`` core is the
+    largest leading submatrix divisible by that level's base case, and the
+    children inherit ``core / (M, K, N)``.  A level whose split would drop
+    a block dimension below ``CutoffPolicy``'s default ``min_dim`` (2) is
+    *skipped with the dimensions unchanged*, matching the executors:
+    ``multiply_schedule`` falls through to the next level's algorithm on
+    the full subproblem when one level's split is too big.  (The parallel
+    DFS recursion descends even onto 1-wide blocks; those byte-scale
+    buffers fall back to the heap, which the overflow counter records and
+    the 1 MiB allocation budget never notices.)
+    """
+    shapes: list[tuple[int, int, int]] = []
+    for m, k, n in base_cases:
+        if min(p // m, q // k, r // n) < 2:
+            continue
+        sp, sq, sr = (p - p % m) // m, (q - q % k) // k, (r - r % n) // n
+        shapes.append((sp, sq, sr))
+        p, q, r = sp, sq, sr
+    return shapes
+
+
+def dfs_footprint(
+    base_cases: Sequence[tuple[int, int, int]],
+    p: int,
+    q: int,
+    r: int,
+    dtype_a="float64",
+    dtype_b=None,
+    algorithms: Sequence | None = None,
+) -> int:
+    """Exact DFS/sequential arena bytes: per level one S + T + M_r + scratch
+    (+ a core-size fix-up buffer at levels where the inner dimension peels).
+
+    With ``algorithms`` (one per level, matching ``base_cases``), the
+    scratch term is only charged at levels whose U/V/W carry coefficients
+    outside {0, +-1} -- the executors take no scratch otherwise.
+    """
+    isa = np.dtype(dtype_a).itemsize
+    isb = np.dtype(dtype_b if dtype_b is not None else dtype_a).itemsize
+    isc = np.result_type(np.dtype(dtype_a),
+                         np.dtype(dtype_b if dtype_b is not None else dtype_a)
+                         ).itemsize
+    total = 0
+    takes = 0
+    cp, cq, cr = p, q, r
+    for lvl, (m, k, n) in enumerate(base_cases):
+        # a non-fitting level is skipped, dims unchanged (see
+        # dfs_level_shapes) -- composed schedules keep recursing below it
+        if min(cp // m, cq // k, cr // n) < 2:
+            continue
+        sp, sq, sr = (cp - cp % m) // m, (cq - cq % k) // k, (cr - cr % n) // n
+        total += _align_up(sp * sq * isa)      # S
+        total += _align_up(sq * sr * isb)      # T
+        total += _align_up(sp * sr * isc)      # M_r
+        takes += 3
+        alg = algorithms[lvl] if algorithms is not None else None
+        if alg is None or (needs_scratch(alg.U) or needs_scratch(alg.V)
+                           or needs_scratch(alg.W)):
+            total += _align_up(max(sp * sq * isa, sq * sr * isb,
+                                   sp * sr * isc))
+            takes += 1
+        if cq % k:  # peel fix-up Ccore += A12 @ B21 is core-sized
+            total += _align_up((sp * m) * (sr * n) * isc)
+            takes += 1
+        cp, cq, cr = sp, sq, sr
+    return total + takes * _ALIGN_SLACK + ALIGNMENT
+
+
+def bfs_level_shapes(
+    base_case: tuple[int, int, int],
+    rank: int,
+    steps: int,
+    p: int,
+    q: int,
+    r: int,
+) -> list[tuple[int, tuple[int, int, int]]]:
+    """Per expansion level: ``(node count, child (sp, sq, sr))``.
+
+    Every node of a level shares one shape (children of a node inherit the
+    same peeled core), so the level-synchronous tree is fully described by
+    ``steps`` (count, shape) pairs -- count grows by ``R`` per level.
+    """
+    levels: list[tuple[int, tuple[int, int, int]]] = []
+    m, k, n = base_case
+    count = 1
+    for _ in range(steps):
+        if p < m or q < k or r < n:
+            break
+        sp, sq, sr = (p - p % m) // m, (q - q % k) // k, (r - r % n) // n
+        count *= rank
+        levels.append((count, (sp, sq, sr)))
+        p, q, r = sp, sq, sr
+    return levels
+
+
+def bfs_footprint(
+    algorithm,
+    steps: int,
+    p: int,
+    q: int,
+    r: int,
+    dtype_a="float64",
+    dtype_b=None,
+) -> int:
+    """Exact BFS/hybrid arena bytes (Section 4.2's per-level pools).
+
+    Level ``l`` contributes ``R^l`` S/T pairs (the node operands) plus
+    ``R^l`` result buffers (leaf products at the deepest level, combined
+    ``C`` blocks above it).  The root result is always excluded: it is
+    either the caller's ``out`` or a per-call fresh allocation (arena
+    memory must never be handed back to the caller).
+    """
+    isa = np.dtype(dtype_a).itemsize
+    isb = np.dtype(dtype_b if dtype_b is not None else dtype_a).itemsize
+    isc = np.result_type(np.dtype(dtype_a),
+                         np.dtype(dtype_b if dtype_b is not None else dtype_a)
+                         ).itemsize
+    uv_scratch = needs_scratch(algorithm.U) or needs_scratch(algorithm.V)
+    w_scratch = needs_scratch(algorithm.W)
+    m, k, n = algorithm.base_case
+    rank = algorithm.rank
+    total = 0
+    takes = 0
+    count = 1
+    cp, cq, cr = p, q, r
+    for _ in range(steps):
+        if cp < m or cq < k or cr < n:
+            break
+        sp, sq, sr = (cp - cp % m) // m, (cq - cq % k) // k, (cr - cr % n) // n
+        if cq % k:  # each parent combine needs a core-size peel fix-up
+            total += count * _align_up((sp * m) * (sr * n) * isc)
+            takes += count
+        if w_scratch:
+            # one combine scratch per internal node, sized to its C block
+            total += count * _align_up(sp * sr * isc)
+            takes += count
+        count *= rank
+        st = _align_up(sp * sq * isa) + _align_up(sq * sr * isb)
+        if uv_scratch:
+            st += _align_up(max(sp * sq * isa, sq * sr * isb))
+        total += count * (st + _align_up(sp * sr * isc))   # S/T + result pool
+        takes += count * (4 if uv_scratch else 3)
+        cp, cq, cr = sp, sq, sr
+    return total + takes * _ALIGN_SLACK + ALIGNMENT
+
+
+# ---------------------------------------------------------------------------
+# allocation tracking (the regression tests' and benchmark's allocator probe)
+# ---------------------------------------------------------------------------
+class AllocationReport:
+    """Filled in when a :func:`track_allocations` block exits."""
+
+    def __init__(self) -> None:
+        self.peak_bytes: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AllocationReport(peak_bytes={self.peak_bytes})"
+
+
+@contextlib.contextmanager
+def track_allocations():
+    """Measure the peak heap growth inside the ``with`` block.
+
+    Uses :mod:`tracemalloc`, which numpy's data allocator reports into, so
+    every array buffer -- including temporaries created and freed inside a
+    single expression -- is visible.  ``report.peak_bytes`` is the peak
+    traced memory minus the baseline at entry: a warm arena-backed call
+    must keep it under the large-allocation threshold, while one stray
+    ``np.empty`` of a matrix-sized temporary pushes it far above.
+    """
+    report = AllocationReport()
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    try:
+        baseline, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        yield report
+        _, peak = tracemalloc.get_traced_memory()
+        report.peak_bytes = max(0, peak - baseline)
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()

@@ -20,10 +20,16 @@ from repro.parallel import blas
 from repro.parallel.pool import WorkerPool, _row_slabs
 
 
-def dgemm(A: np.ndarray, B: np.ndarray, threads: int = 1) -> np.ndarray:
-    """Vendor gemm at an explicit thread count."""
+def dgemm(
+    A: np.ndarray, B: np.ndarray, threads: int = 1,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vendor gemm at an explicit thread count, into ``out`` when given."""
     with blas.blas_threads(threads):
-        return A @ B
+        if out is None:
+            return A @ B
+        np.matmul(A, B, out=out)
+        return out
 
 
 def tiled_gemm(
@@ -38,7 +44,9 @@ def tiled_gemm(
     t = threads or pool.workers
     p, q = A.shape
     r = B.shape[1]
-    C = out if out is not None else np.empty((p, r))
+    # result dtype must follow the operands: a bare np.empty would pin C to
+    # float64 and make np.dot(..., out=C) reject/upcast float32 inputs
+    C = out if out is not None else np.empty((p, r), dtype=np.result_type(A, B))
     if t <= 1 or p < t:
         with blas.blas_threads(1):
             np.dot(A, B, out=C)

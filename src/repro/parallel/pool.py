@@ -17,6 +17,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.workspace import scratch_view
+
 
 def available_cores() -> int:
     """Cores available to this process (the paper's "P threads")."""
@@ -94,15 +96,29 @@ def parallel_copy(pool: WorkerPool, dst: np.ndarray, src: np.ndarray) -> None:
 
 
 def parallel_axpy(
-    pool: WorkerPool, out: np.ndarray, x: np.ndarray, alpha: float
+    pool: WorkerPool, out: np.ndarray, x: np.ndarray, alpha: float,
+    scratch: np.ndarray | None = None,
 ) -> None:
-    """``out += alpha * x`` split row-wise across the pool."""
+    """``out += alpha * x`` split row-wise across the pool.
+
+    ``scratch`` (an untyped byte buffer of at least ``out.nbytes``) absorbs
+    the ``alpha * x`` product for general ``alpha`` so the update stays
+    allocation-free; slabs write disjoint scratch rows, so one buffer
+    serves every worker.
+    """
+    alpha = float(alpha)  # numpy scalars would upcast float32 slabs (NEP 50)
+    view = None
+    if scratch is not None:
+        view = scratch_view(scratch, out.shape, out.dtype)
 
     def work(sl: slice) -> None:
         if alpha == 1.0:
             np.add(out[sl], x[sl], out=out[sl])
         elif alpha == -1.0:
             np.subtract(out[sl], x[sl], out=out[sl])
+        elif view is not None:
+            np.multiply(x[sl], alpha, out=view[sl])
+            np.add(out[sl], view[sl], out=out[sl])
         else:
             out[sl] += alpha * x[sl]
 
@@ -117,16 +133,24 @@ def parallel_combine(
     out: np.ndarray,
     blocks: Sequence[np.ndarray],
     coeffs: Sequence[float],
+    scratch: np.ndarray | None = None,
 ) -> None:
     """``out = sum_i coeffs[i] * blocks[i]`` with row-slab parallelism.
 
     This is how the DFS scheme parallelizes every addition chain ("matrix
-    additions are trivially parallelized", Section 4.1).
+    additions are trivially parallelized", Section 4.1).  ``scratch``
+    (bytes, >= ``out.nbytes``) makes general-coefficient terms
+    allocation-free, as in :func:`parallel_axpy`.
     """
-    nz = [(c, blk) for c, blk in zip(coeffs, blocks) if c != 0.0]
+    # python-float coefficients: a numpy float64 scalar would silently
+    # upcast float32 slabs under NEP 50
+    nz = [(float(c), blk) for c, blk in zip(coeffs, blocks) if c != 0.0]
     if not nz:
         out[:] = 0.0
         return
+    view = None
+    if scratch is not None and any(c not in (1.0, -1.0) for c, _ in nz[1:]):
+        view = scratch_view(scratch, out.shape, out.dtype)
 
     def work(sl: slice) -> None:
         c0, b0 = nz[0]
@@ -139,6 +163,9 @@ def parallel_combine(
                 np.add(out[sl], blk[sl], out=out[sl])
             elif c == -1.0:
                 np.subtract(out[sl], blk[sl], out=out[sl])
+            elif view is not None:
+                np.multiply(blk[sl], c, out=view[sl])
+                np.add(out[sl], view[sl], out=out[sl])
             else:
                 out[sl] += c * blk[sl]
 

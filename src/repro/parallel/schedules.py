@@ -23,6 +23,14 @@ Three schemes over the recursion tree:
 
 Dynamic peeling applies at every node: boundary fix-up products are
 attached to the node and executed during its combine stage.
+
+Every scheme accepts ``out=`` and ``workspace=`` (a
+:class:`repro.core.workspace.Workspace`): DFS reuses one per-level
+``S``/``T``/``M_r`` triple from the arena, BFS/HYBRID draw every node's
+``S``/``T`` operands and result storage from per-level arena pools whose
+sizes follow the Section 4.2 per-level memory formula.  Buffers are
+preassigned *before* tasks fan out (deterministic, no allocator in any
+task body), so a warm call performs no large allocations.
 """
 
 from __future__ import annotations
@@ -34,9 +42,19 @@ import numpy as np
 
 from repro.core.algorithm import FastAlgorithm
 from repro.core.recursion import combine_blocks
+from repro.core.workspace import (
+    Workspace,
+    check_out,
+    needs_scratch,
+    scratch_view,
+)
 from repro.parallel import blas
 from repro.parallel.gemm import dgemm
-from repro.parallel.pool import WorkerPool, parallel_combine
+from repro.parallel.pool import (
+    WorkerPool,
+    parallel_axpy,
+    parallel_combine,
+)
 from repro.util.matrices import block_views, peel_split
 from repro.util.validation import check_matmul_dims, require_2d
 
@@ -53,30 +71,40 @@ def _dfs_recurse(
     steps: int,
     pool: WorkerPool,
     threads: int,
+    out: np.ndarray | None = None,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     p, q = A.shape
     r = B.shape[1]
     m, k, n = alg.base_case
     if steps <= 0 or p < m or q < k or r < n:
-        return dgemm(A, B, threads=threads)
+        return dgemm(A, B, threads=threads, out=out)
 
     A11, A12, A21, A22 = peel_split(A, m, k)
     B11, B12, B21, B22 = peel_split(B, k, n)
     pc, qc = A11.shape
     rc = B11.shape[1]
 
-    C = np.empty((p, r), dtype=np.result_type(A, B))
+    C = out if out is not None else np.empty((p, r), dtype=np.result_type(A, B))
     Ccore = C[:pc, :rc]
-    _dfs_core(A11, B11, Ccore, alg, steps, pool, threads)
+    _dfs_core(A11, B11, Ccore, alg, steps, pool, threads, ws)
 
     if q - qc:
-        Ccore += dgemm(A12, B21, threads=threads)
+        # full-core-size fix-up: from the arena, like recursion._recurse
+        if ws is not None:
+            fix_mark = ws.mark()
+            t = ws.take((pc, rc), C.dtype)
+            dgemm(A12, B21, threads=threads, out=t)
+            np.add(Ccore, t, out=Ccore)
+            ws.release(fix_mark)
+        else:
+            Ccore += dgemm(A12, B21, threads=threads)
     if r - rc:
-        C[:pc, rc:] = dgemm(A11, B12, threads=threads)
+        dgemm(A11, B12, threads=threads, out=C[:pc, rc:])
         if q - qc:
             C[:pc, rc:] += dgemm(A12, B22, threads=threads)
     if p - pc:
-        C[pc:, :rc] = dgemm(A21, B11, threads=threads)
+        dgemm(A21, B11, threads=threads, out=C[pc:, :rc])
         if q - qc:
             C[pc:, :rc] += dgemm(A22, B21, threads=threads)
     if (p - pc) and (r - rc):
@@ -86,7 +114,7 @@ def _dfs_recurse(
     return C
 
 
-def _dfs_core(A, B, C, alg, steps, pool, threads) -> None:
+def _dfs_core(A, B, C, alg, steps, pool, threads, ws=None) -> None:
     m, k, n = alg.base_case
     blocksA = block_views(A, m, k)
     blocksB = block_views(B, k, n)
@@ -94,35 +122,57 @@ def _dfs_core(A, B, C, alg, steps, pool, threads) -> None:
     bp, bq = blocksA[0].shape
     br = blocksB[0].shape[1]
     started = [False] * len(blocksC)
+
+    S_buf = T_buf = M_buf = scratch = None
+    level_mark = None
+    if ws is not None:
+        # one S/T/M_r triple per level, reused across every rank (the
+        # Section 4.1 DFS memory discipline)
+        level_mark = ws.mark()
+        S_buf = ws.take((bp, bq), A.dtype)
+        T_buf = ws.take((bq, br), B.dtype)
+        M_buf = ws.take((bp, br), C.dtype)
+        if (needs_scratch(alg.U) or needs_scratch(alg.V)
+                or needs_scratch(alg.W)):
+            scratch = ws.take_scratch(max(S_buf.nbytes, T_buf.nbytes,
+                                          M_buf.nbytes))
+
     for rr in range(alg.rank):
         ucol = alg.U[:, rr]
         vcol = alg.V[:, rr]
+        unz = np.nonzero(ucol)[0]
+        vnz = np.nonzero(vcol)[0]
         # additions fully parallelized (Section 4.1)
-        if np.count_nonzero(ucol) == 1 and ucol[np.nonzero(ucol)[0][0]] == 1.0:
-            S = blocksA[int(np.nonzero(ucol)[0][0])]
+        if unz.size == 1 and float(ucol[unz[0]]) == 1.0:
+            S = blocksA[int(unz[0])]
         else:
-            S = np.empty((bp, bq), dtype=A.dtype)
-            parallel_combine(pool, S, blocksA, ucol)
-        if np.count_nonzero(vcol) == 1 and vcol[np.nonzero(vcol)[0][0]] == 1.0:
-            T = blocksB[int(np.nonzero(vcol)[0][0])]
+            S = S_buf if S_buf is not None else np.empty((bp, bq),
+                                                         dtype=A.dtype)
+            parallel_combine(pool, S, blocksA, ucol, scratch=scratch)
+        if vnz.size == 1 and float(vcol[vnz[0]]) == 1.0:
+            T = blocksB[int(vnz[0])]
         else:
-            T = np.empty((bq, br), dtype=B.dtype)
-            parallel_combine(pool, T, blocksB, vcol)
-        Mr = _dfs_recurse(S, T, alg, steps - 1, pool, threads)
+            T = T_buf if T_buf is not None else np.empty((bq, br),
+                                                         dtype=B.dtype)
+            parallel_combine(pool, T, blocksB, vcol, scratch=scratch)
+        if ws is None:
+            Mr = _dfs_recurse(S, T, alg, steps - 1, pool, threads)
+        else:
+            inner = ws.mark()
+            Mr = _dfs_recurse(S, T, alg, steps - 1, pool, threads,
+                              out=M_buf, ws=ws)
+            ws.release(inner)
         wcol = alg.W[:, rr]
         for i in np.nonzero(wcol)[0]:
             c = float(wcol[i])
             blk = blocksC[i]
             if not started[i]:
-                if c == 1.0:
-                    parallel_combine(pool, blk, [Mr], [1.0])
-                else:
-                    parallel_combine(pool, blk, [Mr], [c])
+                parallel_combine(pool, blk, (Mr,), (c,), scratch=scratch)
                 started[i] = True
             else:
-                from repro.parallel.pool import parallel_axpy
-
-                parallel_axpy(pool, blk, Mr, c)
+                parallel_axpy(pool, blk, Mr, c, scratch=scratch)
+    if ws is not None:
+        ws.release(level_mark)
     for i, s in enumerate(started):
         if not s:
             blocksC[i][:] = 0.0
@@ -141,8 +191,16 @@ class _Node:
     alg: FastAlgorithm
     children: list["_Node"] = dataclasses.field(default_factory=list)
     result: np.ndarray | None = None
+    #: preassigned result storage (arena pool view, or the caller's ``out``)
+    result_buf: np.ndarray | None = None
     # peeling views captured at expansion time, applied at combine time
     _peel: tuple | None = None
+    # (S_buf, T_buf, scratch) per rank, preassigned before the form tasks run
+    _child_bufs: list | None = None
+    # combine-stage scratch for W coefficients outside {0, +-1}
+    _scratch: np.ndarray | None = None
+    # preassigned (pc x rc) buffer for the inner-dimension peel fix-up
+    _qfix: np.ndarray | None = None
 
     def expand(self) -> list[tuple["_Node", int]]:
         """Split into per-rank child subproblems; returns (self, r) work
@@ -154,6 +212,13 @@ class _Node:
         self.children = [None] * self.alg.rank  # type: ignore[list-item]
         return [(self, r) for r in range(self.alg.rank)]
 
+    def child_shapes(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        """(S shape, T shape) of this node's children (all ranks equal)."""
+        m, k, n = self.alg.base_case
+        pc, qc = self._peel[0].shape
+        rc = self._peel[4].shape[1]
+        return (pc // m, qc // k), (qc // k, rc // n)
+
     def form_child(self, r: int) -> "_Node":
         """Task body: form (S_r, T_r) with serial additions (they belong to
         the task, Section 4.2)."""
@@ -162,14 +227,26 @@ class _Node:
         B11 = self._peel[4]
         blocksA = block_views(A11, m, k)
         blocksB = block_views(B11, k, n)
-        S = combine_blocks(blocksA, self.alg.U[:, r])
-        T = combine_blocks(blocksB, self.alg.V[:, r])
+        bufs = self._child_bufs[r] if self._child_bufs is not None else None
+        if bufs is None:
+            S = combine_blocks(blocksA, self.alg.U[:, r])
+            T = combine_blocks(blocksB, self.alg.V[:, r])
+        else:
+            S_buf, T_buf, scr = bufs
+            S = combine_blocks(blocksA, self.alg.U[:, r], out=S_buf,
+                               scratch=scr)
+            T = combine_blocks(blocksB, self.alg.V[:, r], out=T_buf,
+                               scratch=scr)
         child = _Node(S, T, self.level + 1, self.alg)
         self.children[r] = child
         return child
 
     def leaf_multiply(self) -> None:
-        self.result = self.A @ self.B
+        if self.result_buf is not None:
+            np.matmul(self.A, self.B, out=self.result_buf)
+            self.result = self.result_buf
+        else:
+            self.result = self.A @ self.B
 
     def combine(self) -> None:
         """Task body: assemble C from children products + peel fix-ups."""
@@ -179,7 +256,9 @@ class _Node:
         pc, qc = A11.shape
         rc = B11.shape[1]
         m, k, n = self.alg.base_case
-        C = np.empty((p, r), dtype=np.result_type(self.A, self.B))
+        C = self.result_buf
+        if C is None:
+            C = np.empty((p, r), dtype=np.result_type(self.A, self.B))
         Ccore = C[:pc, :rc]
         blocksC = block_views(Ccore, m, n)
         started = [False] * len(blocksC)
@@ -199,32 +278,51 @@ class _Node:
                     blk += Mr
                 elif c == -1.0:
                     blk -= Mr
+                elif self._scratch is not None:
+                    t = scratch_view(self._scratch, blk.shape, blk.dtype)
+                    np.multiply(Mr, c, out=t)
+                    np.add(blk, t, out=blk)
                 else:
                     blk += c * Mr
         for i, s in enumerate(started):
             if not s:
                 blocksC[i][:] = 0.0
-        # thin classical fix-ups (dynamic peeling, Section 3.5)
+        # thin classical fix-ups (dynamic peeling, Section 3.5); the
+        # inner-dimension strip is the one full-core-size product, so it
+        # uses the preassigned arena buffer when one exists
         if q - qc:
-            Ccore += A12 @ B21
+            if self._qfix is not None:
+                np.matmul(A12, B21, out=self._qfix)
+                np.add(Ccore, self._qfix, out=Ccore)
+            else:
+                Ccore += A12 @ B21
         if r - rc:
-            C[:pc, rc:] = A11 @ B12
+            np.matmul(A11, B12, out=C[:pc, rc:])
             if q - qc:
                 C[:pc, rc:] += A12 @ B22
         if p - pc:
-            C[pc:, :rc] = A21 @ B11
+            np.matmul(A21, B11, out=C[pc:, :rc])
             if q - qc:
                 C[pc:, :rc] += A22 @ B21
         if (p - pc) and (r - rc):
             C[pc:, rc:] = A21 @ B12 + A22 @ B22
         self.result = C
-        self.children = []  # release child memory promptly
+        self.children = []  # release child references promptly
 
 
 def _expand_tree(
-    root: _Node, levels: int, pool: WorkerPool
+    root: _Node,
+    levels: int,
+    pool: WorkerPool,
+    ws: Workspace | None = None,
+    uv_scratch: bool = False,
 ) -> list[list[_Node]]:
-    """Level-synchronous expansion with a taskwait barrier per level."""
+    """Level-synchronous expansion with a taskwait barrier per level.
+
+    With an arena, each level's S/T pool is carved *serially* here before
+    the form tasks fan out -- the per-level pools of Section 4.2, assigned
+    deterministically so no task body ever touches the bump pointer.
+    """
     tree: list[list[_Node]] = [[root]]
     frontier = [root]
     for _ in range(levels):
@@ -238,15 +336,49 @@ def _expand_tree(
             work.extend(node.expand())
         if not work:
             break
+        if ws is not None:
+            for node, r in work:
+                s_shape, t_shape = node.child_shapes()
+                S_buf = ws.take(s_shape, node.A.dtype)
+                T_buf = ws.take(t_shape, node.B.dtype)
+                scr = None
+                if uv_scratch:
+                    scr = ws.take_scratch(max(S_buf.nbytes, T_buf.nbytes))
+                if node._child_bufs is None:
+                    node._child_bufs = [None] * node.alg.rank
+                node._child_bufs[r] = (S_buf, T_buf, scr)
         children = pool.map_wait(lambda wi: wi[0].form_child(wi[1]), work)
         frontier = children
         tree.append(children)
     return tree
 
 
-def _combine_tree(tree: list[list[_Node]], pool: WorkerPool) -> None:
+def _combine_tree(
+    tree: list[list[_Node]],
+    pool: WorkerPool,
+    ws: Workspace | None = None,
+    w_scratch: bool = False,
+) -> None:
     for level in range(len(tree) - 2, -1, -1):
         nodes = [nd for nd in tree[level] if nd.children]
+        if ws is not None:
+            for nd in nodes:
+                # the root's storage is the caller's ``out`` (or a fresh
+                # array) -- arena memory must never escape to the caller
+                if nd.result_buf is None and nd.level > 0:
+                    nd.result_buf = ws.take(
+                        (nd.A.shape[0], nd.B.shape[1]),
+                        np.result_type(nd.A, nd.B),
+                    )
+                if w_scratch and nd._scratch is None:
+                    bs, ts = nd.child_shapes()
+                    itemsize = np.result_type(nd.A, nd.B).itemsize
+                    nd._scratch = ws.take_scratch(bs[0] * ts[1] * itemsize)
+                if nd._qfix is None and nd._peel[1].shape[1]:
+                    nd._qfix = ws.take(
+                        (nd._peel[0].shape[0], nd._peel[4].shape[1]),
+                        np.result_type(nd.A, nd.B),
+                    )
         pool.map_wait(lambda nd: nd.combine(), nodes)
 
 
@@ -258,12 +390,31 @@ def _bfs_leaves(tree: list[list[_Node]]) -> list[_Node]:
     return [nd for nd in leaves if nd.result is None]
 
 
-def _run_bfs(root: _Node, steps: int, pool: WorkerPool) -> np.ndarray:
-    tree = _expand_tree(root, steps, pool)
+def _assign_leaf_buffers(leaves: list[_Node], ws: Workspace) -> None:
+    for nd in leaves:
+        if nd.result_buf is None and nd.level > 0:
+            nd.result_buf = ws.take((nd.A.shape[0], nd.B.shape[1]),
+                                    np.result_type(nd.A, nd.B))
+
+
+def _run_bfs(
+    root: _Node,
+    steps: int,
+    pool: WorkerPool,
+    ws: Workspace | None = None,
+) -> np.ndarray:
+    uv_scratch = w_scratch = False
+    if ws is not None:
+        ws.reset()
+        uv_scratch = needs_scratch(root.alg.U) or needs_scratch(root.alg.V)
+        w_scratch = needs_scratch(root.alg.W)
+    tree = _expand_tree(root, steps, pool, ws, uv_scratch)
     leaves = _bfs_leaves(tree)
+    if ws is not None:
+        _assign_leaf_buffers(leaves, ws)
     with blas.blas_threads(1):  # one BLAS thread per task: pure task parallelism
         pool.map_wait(lambda nd: nd.leaf_multiply(), leaves)
-    _combine_tree(tree, pool)
+    _combine_tree(tree, pool, ws, w_scratch)
     return root.result
 
 
@@ -273,9 +424,17 @@ def _run_hybrid(
     pool: WorkerPool,
     threads: int,
     subgroup: int | None = None,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
-    tree = _expand_tree(root, steps, pool)
+    uv_scratch = w_scratch = False
+    if ws is not None:
+        ws.reset()
+        uv_scratch = needs_scratch(root.alg.U) or needs_scratch(root.alg.V)
+        w_scratch = needs_scratch(root.alg.W)
+    tree = _expand_tree(root, steps, pool, ws, uv_scratch)
     leaves = _bfs_leaves(tree)
+    if ws is not None:
+        _assign_leaf_buffers(leaves, ws)
     n_bfs = len(leaves) - (len(leaves) % threads)
     bfs_part, dfs_part = leaves[:n_bfs], leaves[n_bfs:]
     # 1) perfectly balanced BFS batch
@@ -298,7 +457,7 @@ def _run_hybrid(
                     pool.map_wait(
                         lambda nd: nd.leaf_multiply(), dfs_part[i : i + waves]
                     )
-    _combine_tree(tree, pool)
+    _combine_tree(tree, pool, ws, w_scratch)
     return root.result
 
 
@@ -314,16 +473,25 @@ def multiply_parallel(
     pool: WorkerPool | None = None,
     threads: int | None = None,
     subgroup: int | None = None,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Parallel fast multiply ``A @ B`` (Section 4).
 
     ``scheme`` is one of ``dfs``, ``bfs``, ``hybrid``, ``hybrid-subgroup``;
     ``threads`` defaults to the pool's worker count; ``subgroup`` is the
     P' of the sub-group hybrid.
+
+    ``out`` receives the product; ``workspace`` is an arena sized by
+    :meth:`Workspace.for_recursion` (dfs) or :meth:`Workspace.for_parallel`
+    (bfs/hybrid) from which every temporary is drawn, so a warm
+    ``(out, workspace)`` call performs no large allocations.
     """
     A = require_2d(A, "A")
     B = require_2d(B, "B")
     check_matmul_dims(A, B)
+    if out is not None:
+        out = check_out(out, A, B)
     if scheme not in SCHEMES:
         raise ValueError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
     owns_pool = pool is None
@@ -331,14 +499,17 @@ def multiply_parallel(
     P = threads or pool.workers
     try:
         if scheme == "dfs":
-            return _dfs_recurse(A, B, algorithm, steps, pool, P)
-        root = _Node(A, B, 0, algorithm)
+            if workspace is not None:
+                workspace.reset()
+            return _dfs_recurse(A, B, algorithm, steps, pool, P,
+                                out=out, ws=workspace)
+        root = _Node(A, B, 0, algorithm, result_buf=out)
         if scheme == "bfs":
-            return _run_bfs(root, steps, pool)
+            return _run_bfs(root, steps, pool, ws=workspace)
         sg = subgroup if scheme == "hybrid-subgroup" else None
         if scheme == "hybrid-subgroup" and sg is None:
             sg = max(1, P // 2)
-        return _run_hybrid(root, steps, pool, P, subgroup=sg)
+        return _run_hybrid(root, steps, pool, P, subgroup=sg, ws=workspace)
     finally:
         if owns_pool:
             pool.shutdown()

@@ -36,10 +36,14 @@ Quick start::
 
 from repro.tuner.cache import PlanCache, SCHEMA_VERSION, default_cache_path
 from repro.tuner.dispatch import (
+    build_workspace,
     execute_plan,
     get_plan,
     matmul,
     reset_shared_cache,
+    reset_workspaces,
+    shutdown_shared_pools,
+    workspace_for,
 )
 from repro.tuner.measure import (
     Measurement,
@@ -69,6 +73,7 @@ __all__ = [
     "AlwaysTunePolicy",
     "AutoTunePolicy",
     "Measurement",
+    "build_workspace",
     "OnlineTunePolicy",
     "ShapeReport",
     "TuningPolicy",
@@ -83,7 +88,10 @@ __all__ = [
     "register_policy",
     "reset_shared_cache",
     "reset_shared_policies",
+    "reset_workspaces",
+    "shutdown_shared_pools",
     "tune",
     "tune_shape",
     "tuning_operands",
+    "workspace_for",
 ]

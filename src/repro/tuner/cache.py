@@ -34,8 +34,11 @@ from pathlib import Path
 from repro.tuner.space import Plan
 
 #: bump when the on-disk layout changes incompatibly
-#: (v2: entries carry a machine-fingerprint stamp)
-SCHEMA_VERSION = 2
+#: (v2: entries carry a machine-fingerprint stamp; v3: timings are
+#: measured on the workspace-arena serving path -- sequential plans now
+#: run the reference interpreter, so v2 codegen-path timings no longer
+#: describe what dispatch executes and must be re-tuned)
+SCHEMA_VERSION = 3
 
 #: default max log-space distance for the nearest-shape fallback
 #: (1.0 ~= one dimension off by a factor e)

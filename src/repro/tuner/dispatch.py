@@ -16,14 +16,29 @@ Resolution order for a ``p x q x r`` problem (the subsystem's contract):
 
 Tiny problems skip all of it and go straight to the vendor BLAS: below the
 dgemm ramp-up knee no fast algorithm can win (Section 3.4).
+
+The hot path is allocation-managed: each resolved (plan, shape, dtype)
+pair owns one :class:`repro.core.workspace.Workspace` arena (a small LRU,
+one arena per plan-cache entry in live use), and worker pools persist
+across calls, so a warm ``matmul(A, B, out=C)`` performs zero large
+allocations -- the steady state the paper's Section 4 memory discipline is
+about.  Arenas are additionally keyed by calling thread (a bump-pointer
+arena cannot be shared mid-call), so concurrent ``matmul`` callers each
+warm their own; timed tuning/exploration calls use throwaway arenas so
+losing candidates never evict the serving set.
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.algorithms import get_algorithm
 from repro.codegen import compile_algorithm
+from repro.core.recursion import multiply as recursion_multiply
+from repro.core.workspace import Workspace, check_out
 from repro.parallel import blas
 from repro.parallel.pool import WorkerPool, available_cores
 from repro.parallel.schedules import multiply_parallel
@@ -41,7 +56,23 @@ from repro.util.validation import check_matmul_dims, require_2d
 #: (dtype-aware callers use :func:`repro.tuner.space.trivial_dim`)
 TRIVIAL_DIM = 2 * DEFAULT_MIN_LEAF
 
+#: arenas kept warm at once (each is sized for one plan/shape/dtype; the
+#: serving sweet spot is a few hot shapes hit over and over)
+WORKSPACE_CACHE_SIZE = 8
+
+#: total bytes of retained arenas -- BFS/hybrid trees at large shapes are
+#: hundreds of MB each (the Section 4.2 memory cost), so the cache is
+#: budgeted by bytes as well as by entries; the most recent arena always
+#: stays (evicting the arena of the call in flight would defeat reuse)
+WORKSPACE_CACHE_BYTES = 2 << 30
+
 _default_cache: PlanCache | None = None
+_workspaces: "OrderedDict[tuple, Workspace]" = OrderedDict()
+_pools: dict[int, WorkerPool] = {}
+#: guards _workspaces/_pools mutation -- concurrent dispatchers are a
+#: supported pattern (arenas are thread-keyed), so the bookkeeping around
+#: them must not race
+_dispatch_lock = threading.Lock()
 
 
 def _shared_cache() -> PlanCache:
@@ -57,24 +88,122 @@ def reset_shared_cache() -> None:
     _default_cache = None
 
 
+def reset_workspaces() -> None:
+    """Drop every cached arena (tests; to give memory back)."""
+    with _dispatch_lock:
+        _workspaces.clear()
+
+
+def shutdown_shared_pools() -> None:
+    """Stop the persistent dispatch worker pools (tests; interpreter exit
+    joins them automatically otherwise)."""
+    with _dispatch_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+def _shared_pool(workers: int) -> WorkerPool:
+    """A persistent pool per worker count: thread startup is not something
+    a steady-state dispatch call should pay for."""
+    with _dispatch_lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = _pools[workers] = WorkerPool(workers)
+    return pool
+
+
+def build_workspace(plan: Plan, p: int, q: int, r: int,
+                    dtype_a, dtype_b) -> Workspace | None:
+    """A fresh, *uncached* arena sized for one plan/shape/dtype (``None``
+    for plain-BLAS plans).  Measurement sweeps use this so losing
+    candidates' arenas are garbage-collected instead of pinning the
+    serving cache."""
+    if plan.is_dgemm:
+        return None
+    alg = get_algorithm(plan.algorithm)
+    if plan.scheme in ("sequential", "dfs"):
+        return Workspace.for_recursion([alg.base_case] * plan.steps,
+                                       p, q, r, dtype_a, dtype_b,
+                                       algorithms=[alg] * plan.steps)
+    return Workspace.for_parallel(alg, plan.steps, p, q, r, dtype_a, dtype_b)
+
+
+def workspace_for(plan: Plan, p: int, q: int, r: int,
+                  dtype_a, dtype_b) -> Workspace | None:
+    """The cached arena for one (plan, shape, dtype) -- created on first
+    use, LRU-evicted beyond :data:`WORKSPACE_CACHE_SIZE` entries or
+    :data:`WORKSPACE_CACHE_BYTES` total.  ``None`` for plain-BLAS plans,
+    which need no workspace.
+
+    Keys include the calling thread: a bump-pointer arena reset at every
+    call cannot be shared by two in-flight multiplications, so concurrent
+    dispatchers each get (and re-warm) their own arena instead of silently
+    corrupting each other's temporaries.
+    """
+    if plan.is_dgemm:
+        return None
+    key = (plan, p, q, r, str(np.dtype(dtype_a)), str(np.dtype(dtype_b)),
+           threading.get_ident())
+    with _dispatch_lock:
+        ws = _workspaces.get(key)
+        if ws is not None:
+            _workspaces.move_to_end(key)
+            return ws
+    ws = build_workspace(plan, p, q, r, dtype_a, dtype_b)
+    with _dispatch_lock:
+        _workspaces[key] = ws
+        total = sum(w.nbytes for w in _workspaces.values())
+        while len(_workspaces) > 1 and (
+            len(_workspaces) > WORKSPACE_CACHE_SIZE
+            or total > WORKSPACE_CACHE_BYTES
+        ):
+            _, evicted = _workspaces.popitem(last=False)
+            total -= evicted.nbytes
+    return ws
+
+
 def execute_plan(
     plan: Plan,
     A: np.ndarray,
     B: np.ndarray,
     pool: WorkerPool | None = None,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
-    """Run one multiplication exactly as ``plan`` prescribes."""
+    """Run one multiplication exactly as ``plan`` prescribes.
+
+    ``out`` receives the product; ``workspace`` (see
+    :func:`workspace_for`) supplies every temporary.  A sequential plan
+    with a workspace runs through the reference recursion executor --
+    the generated modules allocate their chains internally, the
+    interpreter draws them from the arena.
+    """
     if plan.is_dgemm:
         with blas.blas_threads(plan.threads):
-            return A @ B
+            if out is None:
+                return A @ B
+            np.matmul(A, B, out=out)
+            return out
     alg = get_algorithm(plan.algorithm)
     if plan.scheme == "sequential":
+        if workspace is not None:
+            with blas.blas_threads(plan.threads):
+                return recursion_multiply(A, B, alg, steps=plan.steps,
+                                          out=out, workspace=workspace)
         fn = compile_algorithm(alg, strategy=plan.strategy)
         with blas.blas_threads(plan.threads):
-            return fn(A, B, steps=plan.steps)
+            C = fn(A, B, steps=plan.steps)
+        if out is not None:
+            np.copyto(out, C)
+            return out
+        return C
+    if pool is None:
+        pool = _shared_pool(plan.threads)
     return multiply_parallel(
         A, B, alg, steps=plan.steps, scheme=plan.scheme,
-        pool=pool, threads=plan.threads,
+        pool=pool, threads=plan.threads, out=out, workspace=workspace,
     )
 
 
@@ -120,6 +249,7 @@ def matmul(
     cache: PlanCache | None = None,
     tune: str | TuningPolicy = "never",
     pool: WorkerPool | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Multiply ``A @ B``, choosing the algorithm automatically.
 
@@ -132,11 +262,16 @@ def matmul(
     amortized timing) and promotes the winner into the cache once sampled;
     see :mod:`repro.tuner.policy` for the full menu.
 
-    ``threads`` defaults to every available core.
+    ``threads`` defaults to every available core.  ``out`` receives the
+    product (same shape/result-dtype, not overlapping ``A``/``B``); with
+    it, a repeat call for a cached shape is allocation-free -- plan lookup,
+    arena, pool and destination are all reused.
     """
     A = require_2d(A, "A")
     B = require_2d(B, "B")
     check_matmul_dims(A, B)
+    if out is not None:
+        out = check_out(out, A, B)
     policy = get_policy(tune)
     p, q = A.shape
     r = B.shape[1]
@@ -145,9 +280,13 @@ def matmul(
     cache = cache if cache is not None else _shared_cache()
     plan, source = policy.select(p, q, r, dtype, threads, cache)
     if policy.wants_timing(source):
+        # timed exploration: a throwaway arena, so losing shortlist
+        # candidates never pollute (or evict from) the serving cache
+        workspace = build_workspace(plan, p, q, r, A.dtype, B.dtype)
         t0 = policy.clock()
-        C = execute_plan(plan, A, B, pool=pool)
+        C = execute_plan(plan, A, B, pool=pool, out=out, workspace=workspace)
         policy.observe(p, q, r, dtype, threads, cache, plan,
                        policy.clock() - t0)
         return C
-    return execute_plan(plan, A, B, pool=pool)
+    workspace = workspace_for(plan, p, q, r, A.dtype, B.dtype)
+    return execute_plan(plan, A, B, pool=pool, out=out, workspace=workspace)

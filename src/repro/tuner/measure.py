@@ -108,11 +108,20 @@ def measure_plan(
     warmup: int = 1,
     pool: WorkerPool | None = None,
 ) -> Measurement:
-    """Median-of-``trials`` timing of one plan on concrete operands."""
+    """Median-of-``trials`` timing of one plan on concrete operands.
+
+    Timed through the same workspace-arena path dispatch serves (the
+    warmup call builds the arena), so the cache commits to numbers the
+    steady state will actually reproduce.
+    """
     p, q = A.shape
     r = B.shape[1]
+    # throwaway arena: candidate plans that lose must not pollute (or
+    # evict from) the serving workspace cache
+    workspace = dispatch.build_workspace(plan, p, q, r, A.dtype, B.dtype)
     sec = median_time(
-        lambda: dispatch.execute_plan(plan, A, B, pool=pool),
+        lambda: dispatch.execute_plan(plan, A, B, pool=pool,
+                                      workspace=workspace),
         trials=trials, warmup=warmup,
     )
     return Measurement(plan, sec, effective_gflops(p, q, r, sec))

@@ -165,6 +165,24 @@ class TestGemm:
                 tiled_gemm(A, B, pool, threads=1), A @ B, atol=1e-10
             )
 
+    @pytest.mark.parametrize("threads", [1, 2])
+    def test_tiled_gemm_float32(self, threads):
+        """Regression: C used to be allocated as bare float64 ``np.empty``,
+        which broke/upcast ``np.dot(..., out=C)`` for float32 operands."""
+        A = random_matrix(65, 33, 8, dtype=np.float32)
+        B = random_matrix(33, 41, 9, dtype=np.float32)
+        with WorkerPool(2) as pool:
+            C = tiled_gemm(A, B, pool, threads=threads)
+        assert C.dtype == np.float32
+        np.testing.assert_allclose(C, A @ B, atol=1e-4)
+
+    def test_dgemm_out(self):
+        A = random_matrix(48, 32, 10)
+        B = random_matrix(32, 40, 11)
+        out = np.empty((48, 40))
+        assert dgemm(A, B, threads=2, out=out) is out
+        np.testing.assert_allclose(out, A @ B, atol=1e-10)
+
 
 class TestStream:
     def test_triad_positive_bandwidth(self):

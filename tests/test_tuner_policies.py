@@ -149,7 +149,7 @@ class TestOnlineConvergence:
         """
         clock = FakeClock()
 
-        def fake_execute(plan, A, B, pool=None):
+        def fake_execute(plan, A, B, pool=None, out=None, workspace=None):
             clock.advance(costs[plan.describe()])
             return A @ B
 

@@ -32,6 +32,12 @@ Use :func:`available` to test for a working compiler,
 :func:`compile_chains` for a :class:`CompiledChains`, and
 :func:`multiply` for the one-call API.  Everything degrades loudly
 (``RuntimeError``), never silently, when no compiler exists.
+
+The kernels are float64-only; the driver computes in double and returns
+``np.result_type(A, B)`` (float32 in -> float32 out, rounded once on
+exit).  Result dtypes double cannot represent by kind -- complex,
+extended-precision floats -- are rejected with ``ValueError`` and belong
+on the python codegen or interpreter paths.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ import numpy as np
 from repro.codegen import cse as cse_mod
 from repro.codegen.chains import Chain, extract_chains
 from repro.core.algorithm import FastAlgorithm
+from repro.core.stability import stability_factors
 from repro.util.matrices import peel_split
 from repro.util.validation import check_matmul_dims
 
@@ -274,11 +281,51 @@ class CompiledChains:
 
     # ------------------------------------------------------------- driver
     def multiply(self, A: np.ndarray, B: np.ndarray, steps: int = 1) -> np.ndarray:
-        """``A @ B`` with ``steps`` recursion levels of the algorithm."""
-        A = np.ascontiguousarray(np.asarray(A, dtype=np.float64))
-        B = np.ascontiguousarray(np.asarray(B, dtype=np.float64))
+        """``A @ B`` with ``steps`` recursion levels of the algorithm.
+
+        The compiled kernels are float64-only, so the driver computes in
+        double and returns ``np.result_type(A, B)`` -- float32 in, float32
+        out (rounded once at the end), never a silent upcast.  Result
+        dtypes double cannot hold exactly by kind (complex, extended
+        precision) are rejected up front with a pointer at the python
+        backends instead of being quietly narrowed.
+        """
+        A = np.asarray(A)
+        B = np.asarray(B)
         check_matmul_dims(A, B)
-        return self._recurse(A, B, steps)
+        dtype = np.result_type(A, B)
+        if dtype.kind not in "fiub" or (dtype.kind == "f"
+                                        and dtype.itemsize > 8):
+            raise ValueError(
+                f"the native chain backend computes in float64 and cannot "
+                f"represent result dtype {dtype}; use "
+                f"repro.codegen.compile_algorithm or the interpreter instead"
+            )
+        Ad = np.ascontiguousarray(A, dtype=np.float64)
+        Bd = np.ascontiguousarray(B, dtype=np.float64)
+        if dtype.kind in "iub" and Ad.size and Bd.size:
+            # double holds integers exactly only up to 2^53, and the fast
+            # algorithm's *intermediates* (S_r/T_r sums, M_r products)
+            # overflow that range before the final entries do -- so the
+            # guard is an a-priori worst-case bound on every intermediate:
+            # |S| <= alpha^steps * max|A|, |T| <= beta^steps * max|B|, a
+            # leaf product <= q * |S||T|, and the combine sweep amplifies
+            # by gamma^steps.  Conservative by design: rejecting a
+            # representable product loudly beats returning a rounded one.
+            growth = stability_factors(self.algorithm).emax ** max(steps, 1)
+            bound = (float(np.abs(Ad).max()) * float(np.abs(Bd).max())
+                     * A.shape[1] * growth)
+            if bound >= 2.0 ** 53:
+                raise ValueError(
+                    "integer product may exceed float64's exactly"
+                    " representable range (2^53) in the fast algorithm's"
+                    " intermediates; the native chain backend computes in"
+                    " double -- use the interpreter for big-integer products"
+                )
+        C = self._recurse(Ad, Bd, steps)
+        if dtype.kind in "iub":
+            C = np.rint(C)
+        return C if dtype == np.float64 else C.astype(dtype)
 
     __call__ = multiply
 
@@ -292,7 +339,10 @@ class CompiledChains:
         B11, B12, B21, B22 = peel_split(B, k, n)
         pc, qc = A11.shape
         rc = B11.shape[1]
-        C = np.empty((p, r))
+        # the driver is float64 throughout (multiply casts once on entry);
+        # explicit dtypes so a changed operand path can never reintroduce
+        # the bare-np.empty default-dtype bug class
+        C = np.empty((p, r), dtype=np.float64)
         self._core(A11, B11, C[:pc, :rc], steps)
         if q - qc:
             C[:pc, :rc] += A12 @ B21
@@ -316,8 +366,8 @@ class CompiledChains:
         r = B.shape[1]
         bp, bq, bn = p // m, q // k, r // n
 
-        Sslab = np.empty((max(self._s["slots"], 1), bp * bq))
-        Tslab = np.empty((max(self._t["slots"], 1), bq * bn))
+        Sslab = np.empty((max(self._s["slots"], 1), bp * bq), dtype=np.float64)
+        Tslab = np.empty((max(self._t["slots"], 1), bq * bn), dtype=np.float64)
         self.lib.form_S(
             A.ctypes.data_as(_DPTR), ctypes.c_long(A.strides[0] // 8),
             ctypes.c_long(bp), ctypes.c_long(bq), Sslab.ctypes.data_as(_DPTR),
@@ -347,7 +397,7 @@ class CompiledChains:
 
         Mptrs = (_DPTR * R)(*[pr.ctypes.data_as(_DPTR) for pr in products])
         ndefs = len(self._c["defs"])
-        scratch = np.empty(max(ndefs, 1) * bn)
+        scratch = np.empty(max(ndefs, 1) * bn, dtype=np.float64)
         self.lib.form_C(
             Mptrs, ctypes.c_long(bp), ctypes.c_long(bn),
             Cout.ctypes.data_as(_DPTR), ctypes.c_long(Cout.strides[0] // 8),

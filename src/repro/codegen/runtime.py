@@ -5,6 +5,16 @@ lives here: the default BLAS base case, dynamic peeling, axpy-style
 accumulation, and the stacked-gemm primitives used by the *streaming*
 addition strategy (stack the input's blocks once -- one read of the input --
 then form every S_r/T_r in a single BLAS pass).
+
+Every helper on the generated modules' hot path takes optional ``out=`` /
+``workspace=`` arguments so arena-backed generated code (see
+:mod:`repro.codegen.generator` for the protocol) runs allocation-free:
+``peel_apply`` writes the product into caller storage and draws its one
+core-size fix-up buffer from the arena, ``axpy`` absorbs general-coefficient
+scaling into a scratch view, and the streaming primitives assemble their
+block stacks inside arena slabs instead of fresh stacked copies.  Without
+those arguments each helper behaves exactly as the historical allocating
+path (same ufunc/gemm sequence, bit-for-bit identical results).
 """
 
 from __future__ import annotations
@@ -13,10 +23,17 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.workspace import Workspace, check_out, scratch_view
 from repro.util.matrices import peel_split
 from repro.util.validation import require_2d
 
 as2d = require_2d
+
+__all__ = [
+    "as2d", "axpy", "check_out", "default_base", "leaf", "peel_apply",
+    "scratch_view", "stack_blocks", "streaming_combine", "streaming_output",
+    "streaming_output_stacked",
+]
 
 
 def default_base(A: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -24,12 +41,42 @@ def default_base(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     return A @ B
 
 
-def axpy(out: np.ndarray, x: np.ndarray, alpha: float) -> None:
-    """``out += alpha * x`` with the fewest temporaries numpy allows."""
+def leaf(base: Callable, A: np.ndarray, B: np.ndarray,
+         out: np.ndarray | None = None) -> np.ndarray:
+    """Run the base case, writing into ``out`` when one is supplied.
+
+    The default gemm base writes straight into ``out`` (no temporary); a
+    custom base without ``out`` support is copied -- custom bases are a
+    correctness/testing hook, not a steady-state serving path.
+    """
+    if out is None:
+        return base(A, B)
+    if base is default_base:
+        np.matmul(A, B, out=out)
+        return out
+    np.copyto(out, base(A, B))
+    return out
+
+
+def axpy(out: np.ndarray, x: np.ndarray, alpha: float,
+         scratch: np.ndarray | None = None) -> None:
+    """``out += alpha * x`` with the fewest temporaries numpy allows.
+
+    ``scratch`` (a byte buffer at least ``out.nbytes`` long, typically an
+    arena view) absorbs the ``alpha * x`` product of general coefficients,
+    making the update allocation-free; without it that branch falls back to
+    one temporary.  ``alpha`` is coerced to python float so NEP 50 does not
+    upcast float32 operands through a float64 numpy scalar.
+    """
+    alpha = float(alpha)
     if alpha == 1.0:
         np.add(out, x, out=out)
     elif alpha == -1.0:
         np.subtract(out, x, out=out)
+    elif scratch is not None:
+        t = scratch_view(scratch, out.shape, out.dtype)
+        np.multiply(x, alpha, out=t)
+        np.add(out, t, out=out)
     else:
         out += alpha * x
 
@@ -40,12 +87,23 @@ def peel_apply(
     m: int,
     k: int,
     n: int,
-    core_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    core_fn: Callable,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Dynamic peeling (Section 3.5) around a divisible-core multiply.
 
     ``core_fn`` gets the largest ``(m,k,n)``-divisible leading submatrices;
     boundary strips are fixed up with thin classical products.
+
+    Without ``out``/``workspace`` this is the historical allocating path
+    and ``core_fn`` is called as ``core_fn(A11, B11)``.  With either, the
+    product is written into ``out`` (or a single fresh array when ``out``
+    is None) and ``core_fn`` is called as ``core_fn(A11, B11, Cview)`` --
+    it must write its result into the view.  The one core-size fix-up
+    product (``Ccore += A12 @ B21`` when the inner dimension peels) is
+    drawn from ``workspace`` so non-divisible shapes stay allocation-free;
+    the remaining strips are O(boundary)-thin.
     """
     p, q = A.shape
     r = B.shape[1]
@@ -53,19 +111,47 @@ def peel_apply(
     B11, B12, B21, B22 = peel_split(B, k, n)
     pc, qc = A11.shape
     rc = B11.shape[1]
-    if pc == p and qc == q and rc == r:
-        return core_fn(A11, B11)
 
-    C = np.empty((p, r), dtype=np.result_type(A, B))
-    C[:pc, :rc] = core_fn(A11, B11)
+    if out is None and workspace is None:
+        if pc == p and qc == q and rc == r:
+            return core_fn(A11, B11)
+        C = np.empty((p, r), dtype=np.result_type(A, B))
+        C[:pc, :rc] = core_fn(A11, B11)
+        if q - qc:
+            C[:pc, :rc] += A12 @ B21
+        if r - rc:
+            C[:pc, rc:] = A11 @ B12
+            if q - qc:
+                C[:pc, rc:] += A12 @ B22
+        if p - pc:
+            C[pc:, :rc] = A21 @ B11
+            if q - qc:
+                C[pc:, :rc] += A22 @ B21
+        if (p - pc) and (r - rc):
+            C[pc:, rc:] = A21 @ B12 + A22 @ B22
+        return C
+
+    C = out if out is not None else np.empty((p, r), dtype=np.result_type(A, B))
+    if pc == p and qc == q and rc == r:
+        core_fn(A11, B11, C)
+        return C
+    Ccore = C[:pc, :rc]
+    core_fn(A11, B11, Ccore)
     if q - qc:
-        C[:pc, :rc] += A12 @ B21
+        if workspace is not None:
+            fix = workspace.mark()
+            t = workspace.take((pc, rc), C.dtype)
+            np.matmul(A12, B21, out=t)
+            np.add(Ccore, t, out=Ccore)
+            workspace.release(fix)
+        else:
+            Ccore += A12 @ B21
     if r - rc:
-        C[:pc, rc:] = A11 @ B12
+        np.matmul(A11, B12, out=C[:pc, rc:])
         if q - qc:
             C[:pc, rc:] += A12 @ B22
     if p - pc:
-        C[pc:, :rc] = A21 @ B11
+        np.matmul(A21, B11, out=C[pc:, :rc])
         if q - qc:
             C[pc:, :rc] += A22 @ B21
     if (p - pc) and (r - rc):
@@ -89,12 +175,27 @@ def stack_blocks(X: np.ndarray, rows: int, cols: int) -> np.ndarray:
     )
 
 
+def _stack_blocks_into(stack: np.ndarray, X: np.ndarray,
+                       rows: int, cols: int, bp: int, bq: int) -> None:
+    """Fill ``stack``'s leading rows with ``X``'s block grid, view-to-view.
+
+    ``X`` is usually a non-contiguous peel-core view, so the reshape dance
+    of :func:`stack_blocks` would silently copy; block-wise ``copyto``
+    writes the same values with no temporary.
+    """
+    for b in range(rows * cols):
+        bi, bj = divmod(b, cols)
+        np.copyto(stack[b].reshape(bp, bq),
+                  X[bi * bp:(bi + 1) * bp, bj * bq:(bj + 1) * bq])
+
+
 def streaming_combine(
     X: np.ndarray,
     rows: int,
     cols: int,
     defs_matrix: np.ndarray | None,
     chain_matrix: np.ndarray,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Form every S_r (or T_r) in one pass: ``chain_matrix @ [stack; defs]``.
 
@@ -102,38 +203,128 @@ def streaming_combine(
     evaluated first and appended as extra sources; without CSE it is None
     and ``chain_matrix`` is just U^T (or V^T) with piped scalars.
     Returns an ``(R, bp, bq)`` array whose slices are the temporaries.
+
+    With ``workspace``, the result slab and the block stack are arena
+    views: the stack is filled block-by-block (no stacked copy), the CSE
+    rows are matmul'd into its tail, and the stack is released before
+    returning -- only the ``(R, bp, bq)`` slab stays live.  The matmul
+    operands are identical to the allocating path, so results match it
+    bit for bit.
     """
     p, q = X.shape
     bp, bq = p // rows, q // cols
-    stack = stack_blocks(X, rows, cols)
-    if defs_matrix is not None and defs_matrix.size:
-        ys = defs_matrix.astype(stack.dtype, copy=False) @ stack
-        stack = np.vstack([stack, ys])
-    out = chain_matrix.astype(stack.dtype, copy=False) @ stack
-    return out.reshape(-1, bp, bq)
+    if workspace is None:
+        stack = stack_blocks(X, rows, cols)
+        if defs_matrix is not None and defs_matrix.size:
+            ys = defs_matrix.astype(stack.dtype, copy=False) @ stack
+            stack = np.vstack([stack, ys])
+        out = chain_matrix.astype(stack.dtype, copy=False) @ stack
+        return out.reshape(-1, bp, bq)
+
+    R = chain_matrix.shape[0]
+    nbase = rows * cols
+    nd = (defs_matrix.shape[0]
+          if defs_matrix is not None and defs_matrix.size else 0)
+    slab = workspace.take((R, bp, bq), X.dtype)
+    mark = workspace.mark()
+    stack = workspace.take((nbase + nd, bp * bq), X.dtype)
+    _stack_blocks_into(stack, X, rows, cols, bp, bq)
+    if nd:
+        np.matmul(defs_matrix.astype(X.dtype, copy=False), stack[:nbase],
+                  out=stack[nbase:])
+    np.matmul(chain_matrix.astype(X.dtype, copy=False), stack,
+              out=slab.reshape(R, bp * bq))
+    workspace.release(mark)
+    return slab
 
 
 def streaming_output(
-    products: list[np.ndarray],
+    products,
     defs_matrix: np.ndarray | None,
     chain_matrix: np.ndarray,
     p: int,
     r: int,
     m: int,
     n: int,
+    out: np.ndarray | None = None,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
-    """Streaming C formation: read each M_r once, write each C block once."""
+    """Streaming C formation: read each M_r once, write each C block once.
+
+    ``products`` is a list of ``(bp, br)`` arrays or an ``(R, bp, br)``
+    slab.  With ``out=`` the blocks are scattered into caller storage
+    (block-wise, so a non-contiguous peel-core destination works without a
+    hidden copy); with ``workspace`` the product stack and the combined
+    block rows are arena views released before returning.
+    """
     bp, br = p // m, r // n
-    stack = np.empty((len(products), bp * br), dtype=products[0].dtype)
+    nprod = len(products)
+    nd = (defs_matrix.shape[0]
+          if defs_matrix is not None and defs_matrix.size else 0)
+    dtype = products[0].dtype
+    mark = workspace.mark() if workspace is not None else None
+    if workspace is not None:
+        stack = workspace.take((nprod + nd, bp * br), dtype)
+    else:
+        stack = np.empty((nprod + nd, bp * br), dtype=dtype)
     for i, Mr in enumerate(products):
-        stack[i] = Mr.reshape(-1)
+        np.copyto(stack[i].reshape(bp, br), Mr)
+    if nd:
+        np.matmul(defs_matrix.astype(dtype, copy=False), stack[:nprod],
+                  out=stack[nprod:])
+    if workspace is not None:
+        cc = workspace.take((m * n, bp * br), dtype)
+        np.matmul(chain_matrix.astype(dtype, copy=False), stack, out=cc)
+    else:
+        cc = chain_matrix.astype(dtype, copy=False) @ stack  # (m*n, bp*br)
+    C = out if out is not None else np.empty((p, r), dtype=dtype)
+    _scatter_blocks(C, cc, m, n, bp, br)
+    if workspace is not None:
+        workspace.release(mark)
+    return C
+
+
+def streaming_output_stacked(
+    stack: np.ndarray,
+    nprod: int,
+    defs_matrix: np.ndarray | None,
+    chain_matrix: np.ndarray,
+    p: int,
+    r: int,
+    m: int,
+    n: int,
+    out: np.ndarray,
+    workspace: Workspace,
+) -> np.ndarray:
+    """:func:`streaming_output` for a *pre-stacked* product slab.
+
+    Arena-lowered generated cores write their ``M_r`` products straight
+    into the first ``nprod`` rows of ``stack`` (an arena view with
+    ``len(defs)`` spare tail rows), so C formation needs no second copy of
+    the product slab: the CSE definition rows are matmul'd into the tail
+    in place, the combined block rows come from a transient arena buffer,
+    and the blocks scatter into ``out``.  Identical matmul operands to
+    :func:`streaming_output`, hence bit-identical results.
+    """
+    bp, br = p // m, r // n
+    dtype = stack.dtype
     if defs_matrix is not None and defs_matrix.size:
-        stack = np.vstack(
-            [stack, defs_matrix.astype(stack.dtype, copy=False) @ stack]
-        )
-    cc = chain_matrix.astype(stack.dtype, copy=False) @ stack  # (m*n, bp*br)
-    return (
-        cc.reshape(m, n, bp, br)
-        .transpose(0, 2, 1, 3)
-        .reshape(p, r)
-    )
+        np.matmul(defs_matrix.astype(dtype, copy=False), stack[:nprod],
+                  out=stack[nprod:])
+    mark = workspace.mark()
+    cc = workspace.take((m * n, bp * br), dtype)
+    np.matmul(chain_matrix.astype(dtype, copy=False), stack, out=cc)
+    _scatter_blocks(out, cc, m, n, bp, br)
+    workspace.release(mark)
+    return out
+
+
+def _scatter_blocks(C: np.ndarray, cc: np.ndarray,
+                    m: int, n: int, bp: int, br: int) -> None:
+    """Write combined rows ``cc[(i, j)]`` into ``C``'s block grid, view to
+    view (block-wise, so a non-contiguous peel-core destination never
+    forces a hidden reshape copy)."""
+    for i in range(m):
+        for j in range(n):
+            np.copyto(C[i * bp:(i + 1) * bp, j * br:(j + 1) * br],
+                      cc[i * n + j].reshape(bp, br))

@@ -52,6 +52,14 @@ All sizes are computed by *simulating* the executor's level loop
 termination (a dimension dropping below the base case) and composed
 per-level schedules are all accounted exactly rather than bounded.
 
+**Generated sequential modules** (Section 3.1 codegen) have a third memory
+shape: all ``R`` products of a level live until the C-assembly pass, plus
+per-strategy slots (CSE ``Y`` definitions, streaming block stacks).
+:func:`codegen_footprint` sizes those by simulating the generated module's
+own peel loop; :func:`repro.tuner.dispatch` uses it for every sequential
+plan so the generated code is served *from* the arena instead of falling
+back to this interpreter.
+
 The arena is not thread-safe for concurrent ``take`` calls; the parallel
 schedules preassign every buffer *before* fanning tasks out, which is also
 what makes the assignment deterministic.  If a caller outgrows the arena
@@ -183,6 +191,28 @@ class Workspace:
     ) -> "Workspace":
         """Arena for the BFS/hybrid task tree (Section 4.2 footprint)."""
         nbytes = bfs_footprint(algorithm, steps, p, q, r, dtype_a, dtype_b)
+        return cls(nbytes)
+
+    @classmethod
+    def for_codegen(
+        cls,
+        algorithm,
+        strategy: str,
+        cse: bool,
+        shape: tuple[int, int, int],
+        dtype_a="float64",
+        steps: int = 1,
+        dtype_b=None,
+    ) -> "Workspace":
+        """Arena for a *generated* sequential module (Section 3.1 codegen).
+
+        Sized by :func:`codegen_footprint`, which mirrors the generated
+        module's peel loop and per-strategy slot counts (all ``R`` product
+        buffers of a level live until C assembly, unlike the interpreter's
+        single reused ``M_r``).
+        """
+        nbytes = codegen_footprint(algorithm, strategy, cse, shape,
+                                   dtype_a, steps, dtype_b=dtype_b)
         return cls(nbytes)
 
 
@@ -381,6 +411,100 @@ def bfs_footprint(
         takes += count * (4 if uv_scratch else 3)
         cp, cq, cr = sp, sq, sr
     return total + takes * _ALIGN_SLACK + ALIGNMENT
+
+
+def codegen_footprint(
+    algorithm,
+    strategy: str,
+    cse: bool,
+    shape: tuple[int, int, int],
+    dtype_a="float64",
+    steps: int = 1,
+    dtype_b=None,
+) -> int:
+    """Exact arena bytes for a *generated* sequential module (Section 3.1).
+
+    The generated code's memory shape differs from the interpreter DFS
+    formula in three ways, all accounted here by simulating the module's
+    own recursion (``_run_ws``/``_core_ws`` in the emitted source):
+
+    - **all R product buffers of a level live at once** (one ``(R, bp, br)``
+      slab), because the generated C assembly reads every ``M_r`` after the
+      rank loop, whereas the interpreter reuses a single ``M_r`` buffer;
+    - **per-strategy slot counts**: write_once/pairwise hold one S + one T
+      view at a time (marked/released per rank) plus the CSE ``Y``
+      definitions of both sides for the whole level and the C-side
+      definitions during assembly; streaming holds the
+      ``(R, bp, bq)``/``(R, bq, br)`` combine slabs, the product slab with
+      its ``|C defs|`` tail rows (the products double as the C-formation
+      stack head, so it is never copied) and, transiently, the block
+      stacks (``m*k + |defs|`` rows) and the combined C rows;
+    - **the peel loop**: the generated ``_run`` recurses whenever the
+      dimensions admit one split (no interpreter ``min_dim`` cutoff), and
+      each level where the inner dimension peels draws one core-size
+      fix-up buffer inside ``runtime.peel_apply``.
+
+    Sizing uses the result dtype (``np.result_type(A, B)``) for every
+    slot, which matches the emitted write_once/streaming temporaries and
+    upper-bounds arena pairwise's operand-dtype chains.  Chain and CSE
+    slot counts come from the generator's own
+    :func:`repro.codegen.generator.prepared_chains` (imported lazily --
+    ``repro.codegen`` depends on this module, not vice versa), so arena
+    sizing cannot drift from what the emitted module actually takes.
+    """
+    from repro.codegen.generator import prepared_chains
+    from repro.codegen.strategies import needs_axpy_scratch
+
+    (_, s_chains, t_chains, c_chains,
+     s_defs, t_defs, c_defs) = prepared_chains(algorithm, cse)
+
+    m, k, n = algorithm.base_case
+    R = algorithm.rank
+    isz = np.result_type(np.dtype(dtype_a),
+                         np.dtype(dtype_b if dtype_b is not None else dtype_a)
+                         ).itemsize
+    scratch_needed = needs_axpy_scratch(
+        s_chains + t_chains + c_chains + s_defs + t_defs + c_defs)
+    nsd, ntd, ncd = len(s_defs), len(t_defs), len(c_defs)
+    state = {"takes": 0}
+
+    def take(nelems: int) -> int:
+        state["takes"] += 1
+        return _align_up(int(nelems) * isz)
+
+    def level(p: int, q: int, r: int, left: int) -> int:
+        if left <= 0 or p < m or q < k or r < n:
+            return 0
+        pc, qc, rcore = p - p % m, q - q % k, r - r % n
+        bp, bq, br = pc // m, qc // k, rcore // n
+        total = 0
+        if q - qc:  # peel_apply's core-size inner-dimension fix-up
+            total += take(pc * rcore)
+        child = level(bp, bq, br, left - 1)
+        if strategy == "streaming":
+            total += take(R * bp * bq) + take(R * bq * br)   # _SS, _TT slabs
+            total += take((R + ncd) * bp * br)               # _ST slab
+            stack_a = take((m * k + nsd) * bp * bq)
+            stack_b = take((k * n + ntd) * bq * br)
+            cc_rows = take(m * n * bp * br)
+            # combine stacks are released before the rank loop recurses;
+            # the combined-C rows only exist after it -- peak is the worst
+            # transient on top of the persistent slabs
+            total += max(stack_a, stack_b, child, cc_rows)
+        else:
+            if scratch_needed:
+                total += take(max(bp * bq, bq * br, bp * br))
+            total += sum(take(bp * bq) for _ in range(nsd))
+            total += sum(take(bq * br) for _ in range(ntd))
+            total += take(R * bp * br)                       # _MM slab
+            st = take(bp * bq) + take(bq * br)  # one live S + T per rank
+            c_assembly = sum(take(bp * br) for _ in range(ncd))
+            total += max(st + child, c_assembly)
+        return total
+
+    p, q, r = shape
+    total = level(int(p), int(q), int(r), int(steps))
+    return total + state["takes"] * _ALIGN_SLACK + ALIGNMENT
 
 
 # ---------------------------------------------------------------------------

@@ -35,10 +35,11 @@ from repro.tuner.space import Plan
 
 #: bump when the on-disk layout changes incompatibly
 #: (v2: entries carry a machine-fingerprint stamp; v3: timings are
-#: measured on the workspace-arena serving path -- sequential plans now
-#: run the reference interpreter, so v2 codegen-path timings no longer
-#: describe what dispatch executes and must be re-tuned)
-SCHEMA_VERSION = 3
+#: measured on the workspace-arena serving path -- sequential plans then
+#: ran the reference interpreter; v4: sequential plans are served by the
+#: *generated* modules drawing from the arena, so v3 interpreter-path
+#: timings no longer describe what dispatch executes and must be re-tuned)
+SCHEMA_VERSION = 4
 
 #: default max log-space distance for the nearest-shape fallback
 #: (1.0 ~= one dimension off by a factor e)

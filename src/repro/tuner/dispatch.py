@@ -37,7 +37,6 @@ import numpy as np
 
 from repro.algorithms import get_algorithm
 from repro.codegen import compile_algorithm
-from repro.core.recursion import multiply as recursion_multiply
 from repro.core.workspace import Workspace, check_out
 from repro.parallel import blas
 from repro.parallel.pool import WorkerPool, available_cores
@@ -123,7 +122,14 @@ def build_workspace(plan: Plan, p: int, q: int, r: int,
     if plan.is_dgemm:
         return None
     alg = get_algorithm(plan.algorithm)
-    if plan.scheme in ("sequential", "dfs"):
+    if plan.scheme == "sequential":
+        # sequential plans are served by the *generated* module, whose
+        # memory shape (all R products of a level live until C assembly,
+        # strategy slabs, CSE temporaries) the codegen footprint mirrors --
+        # the interpreter's one-triple-per-level DFS formula would overflow
+        return Workspace.for_codegen(alg, plan.strategy, False, (p, q, r),
+                                     dtype_a, plan.steps, dtype_b=dtype_b)
+    if plan.scheme == "dfs":
         return Workspace.for_recursion([alg.base_case] * plan.steps,
                                        p, q, r, dtype_a, dtype_b,
                                        algorithms=[alg] * plan.steps)
@@ -175,10 +181,10 @@ def execute_plan(
     """Run one multiplication exactly as ``plan`` prescribes.
 
     ``out`` receives the product; ``workspace`` (see
-    :func:`workspace_for`) supplies every temporary.  A sequential plan
-    with a workspace runs through the reference recursion executor --
-    the generated modules allocate their chains internally, the
-    interpreter draws them from the arena.
+    :func:`workspace_for`) supplies every temporary.  Sequential plans
+    always run the *generated* module (Section 3.1) -- with a workspace
+    its S/T/M chains are arena views and ``out`` is written directly,
+    with neither an interpreter fallback nor a final full-matrix copy.
     """
     if plan.is_dgemm:
         with blas.blas_threads(plan.threads):
@@ -188,17 +194,9 @@ def execute_plan(
             return out
     alg = get_algorithm(plan.algorithm)
     if plan.scheme == "sequential":
-        if workspace is not None:
-            with blas.blas_threads(plan.threads):
-                return recursion_multiply(A, B, alg, steps=plan.steps,
-                                          out=out, workspace=workspace)
         fn = compile_algorithm(alg, strategy=plan.strategy)
         with blas.blas_threads(plan.threads):
-            C = fn(A, B, steps=plan.steps)
-        if out is not None:
-            np.copyto(out, C)
-            return out
-        return C
+            return fn(A, B, steps=plan.steps, out=out, workspace=workspace)
     if pool is None:
         pool = _shared_pool(plan.threads)
     return multiply_parallel(

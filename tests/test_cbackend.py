@@ -138,6 +138,65 @@ class TestCorrectness:
             cbackend.multiply(_rand(4, 5), _rand(6, 4), "strassen")
 
 
+# ------------------------------------------------------------------ dtypes
+class TestDtypeContract:
+    """The kernels are float64-only; the driver must return
+    ``np.result_type(A, B)`` (never a silent upcast) and reject result
+    dtypes double cannot represent."""
+
+    def test_float32_in_float32_out(self):
+        A = _rand(48, 48).astype(np.float32)
+        B = _rand(48, 48).astype(np.float32)
+        C = cbackend.multiply(A, B, "strassen", steps=2)
+        assert C.dtype == np.float32
+        np.testing.assert_allclose(C, A @ B, rtol=1e-4, atol=1e-4)
+
+    def test_mixed_precision_promotes(self):
+        A = _rand(32, 32).astype(np.float32)
+        B = _rand(32, 32)  # float64
+        C = cbackend.multiply(A, B, "strassen", steps=1)
+        assert C.dtype == np.float64
+
+    def test_integer_inputs_return_integer_result_type(self):
+        A = RNG.integers(0, 5, (32, 32))
+        B = RNG.integers(0, 5, (32, 32))
+        C = cbackend.multiply(A, B, "strassen", steps=1)
+        assert C.dtype == np.result_type(A, B)
+        np.testing.assert_array_equal(C, A @ B)
+
+    def test_big_integer_product_raises_instead_of_rounding(self):
+        # products past 2^53 cannot round-trip through the float64 kernels:
+        # casting back would silently truncate (or wrap to INT64_MIN)
+        A = np.full((4, 4), 2**31 - 1, dtype=np.int64)
+        B = np.full((4, 4), 2**31 - 3, dtype=np.int64)
+        with pytest.raises(ValueError, match="2\\^53"):
+            cbackend.multiply(A, B, "strassen", steps=1)
+
+    def test_intermediate_overflow_raises_even_when_result_fits(self):
+        # entries ~2^22 at n=64, steps=2: every exact product entry fits in
+        # 2^53, but Strassen's intermediate (A11+A22)@(B11+B22) sums do not
+        # -- the a-priori growth bound must reject this a posteriori-clean-
+        # looking case instead of returning integers quietly off by a few
+        A = np.full((64, 64), 2**22, dtype=np.int64)
+        B = np.full((64, 64), 2**22, dtype=np.int64)
+        assert (A.astype(object) @ B.astype(object)).max() < 2**53
+        with pytest.raises(ValueError, match="intermediates"):
+            cbackend.multiply(A, B, "strassen", steps=2)
+
+    def test_complex_routed_away_loudly(self):
+        A = _rand(8, 8) + 1j * _rand(8, 8)
+        with pytest.raises(ValueError, match="float64"):
+            cbackend.multiply(A, A, "strassen", steps=1)
+
+    @pytest.mark.skipif(not hasattr(np, "longdouble")
+                        or np.dtype(np.longdouble).itemsize <= 8,
+                        reason="no extended-precision longdouble here")
+    def test_extended_precision_routed_away_loudly(self):
+        A = _rand(8, 8).astype(np.longdouble)
+        with pytest.raises(ValueError, match="float64"):
+            cbackend.multiply(A, A, "strassen", steps=1)
+
+
 # ---------------------------------------------------------------- aliases
 class TestAliasHandling:
     def test_aliased_chains_are_views_not_copies(self):

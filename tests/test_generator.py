@@ -152,8 +152,13 @@ class TestStrategyBehaviour:
         assert "out=S0" in src
 
     def test_pairwise_avoids_out_kwarg(self):
+        # scoped to the allocating core: the arena core (_core_ws) lowers
+        # pairwise to in-place write-once form by design (the fresh-array-
+        # per-op distinction is meaningless once buffers come from an arena)
         src = generate_source(strassen(), "pairwise")
-        assert "out=S0" not in src
+        allocating = src.split("def _core_ws")[0]
+        assert "out=S0" not in allocating
+        assert "ws.take" in src.split("def _core_ws")[1]
 
     def test_all_strategies_same_result(self):
         A = random_matrix(24, 36, 5)

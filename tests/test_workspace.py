@@ -424,6 +424,31 @@ class TestSteadyStateAllocations:
         assert rep.peak_bytes is not None and rep.peak_bytes < LARGE, scheme
         np.testing.assert_allclose(out, A @ B, atol=1e-8)
 
+    @pytest.mark.parametrize("strategy", ["write_once", "pairwise",
+                                          "streaming"])
+    def test_warm_sequential_codegen_plan_is_allocation_free(
+            self, strategy, tmp_path):
+        """Sequential plans are served by the *generated* module (ISSUE 4):
+        warm dispatch must write ``out`` directly from the arena, for every
+        addition strategy a plan can name."""
+        n = 515  # non-divisible: codegen peel fix-ups must be arena-backed
+        cache = PlanCache(tmp_path / "plans.json")
+        cache.put(n, n, n, "float64", 1,
+                  Plan(algorithm="strassen", steps=2, scheme="sequential",
+                       strategy=strategy, threads=1))
+        A = random_matrix(n, n, 40)
+        B = random_matrix(n, n, 41)
+        out = np.empty((n, n))
+        reset_workspaces()
+        got = tuner_matmul(A, B, threads=1, cache=cache, out=out)
+        assert got is out
+        with track_allocations() as rep:
+            got = tuner_matmul(A, B, threads=1, cache=cache, out=out)
+        assert got is out
+        assert rep.peak_bytes is not None and rep.peak_bytes < LARGE, strategy
+        np.testing.assert_allclose(out, A @ B, atol=1e-8)
+        reset_workspaces()
+
     def test_allocating_path_trips_the_probe(self):
         """Sanity for the tracking allocator itself: the pre-arena path
         allocates well past the threshold, so the probe can tell them

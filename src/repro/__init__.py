@@ -72,6 +72,7 @@ def multiply(
     parallel: bool = False,
     scheme: str = "hybrid",
     threads: int | None = None,
+    subgroup: int | None = None,
 ) -> np.ndarray:
     """Multiply ``A @ B`` with a fast algorithm (the one-call public API).
 
@@ -79,11 +80,15 @@ def multiply(
     name or as a ``FastAlgorithm``), the recursion depth ``steps``, the
     matrix-addition ``strategy`` (``write_once`` is the paper's default
     winner), optional ``cse``, and -- when ``parallel`` -- the scheduling
-    ``scheme`` (``dfs`` / ``bfs`` / ``hybrid``) and thread count.
+    ``scheme`` (``dfs`` / ``bfs`` / ``hybrid`` / ``hybrid-subgroup``),
+    thread count and the sub-group hybrid's P' (``subgroup``, a divisor
+    of the thread count; defaults per
+    :func:`repro.parallel.schedules.default_subgroup`).
     """
     alg = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
     if parallel:
-        return multiply_parallel(A, B, alg, steps=steps, scheme=scheme, threads=threads)
+        return multiply_parallel(A, B, alg, steps=steps, scheme=scheme,
+                                 threads=threads, subgroup=subgroup)
     return compile_algorithm(alg, strategy=strategy, cse=cse)(A, B, steps=steps)
 
 

@@ -11,10 +11,14 @@ Subcommands map onto the library's main entry points:
 - ``tune``      — sweep candidate plans for a set of shapes under a time
   budget and persist the winners to the plan cache (``repro.tuner``);
   ``--policy online`` instead explores during simulated dispatch traffic
-  (the budgeted epsilon-greedy policy of ``repro.tuner.policy``);
+  (the budgeted epsilon-greedy policy of ``repro.tuner.policy``) and
+  ``--policy ucb`` drives the same traffic with deterministic UCB1; with
+  ``--threads > 1`` the candidate space spans the parallel schemes and
+  the hybrid-subgroup P' divisors;
 - ``cache``     — inspect (``show``) or invalidate (``invalidate``) the
-  plan cache; entries tuned under another machine fingerprint are shown
-  as stale and are the default target of invalidation;
+  plan cache; entries tuned under another machine fingerprint or a
+  pre-P'-sweep schema are shown as stale (with scheme/P' columns for
+  parallel plans) and are the default target of invalidation;
 - ``codegen``   — print the generated Python (or C) source for an
   algorithm/strategy/CSE combination;
 - ``search``    — run the §2.3 ALS search (delegates to
@@ -58,6 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="hybrid",
                    choices=["dfs", "bfs", "hybrid", "hybrid-subgroup"])
     p.add_argument("--threads", type=int, default=None)
+    p.add_argument("--subgroup", type=int, default=None,
+                   help="P' of the hybrid-subgroup scheme (must divide the "
+                        "thread count; default: threads // 2)")
     p.add_argument("--native", action="store_true",
                    help="use the compiled C chain backend")
     p.add_argument("--blas-threads", type=int, default=None,
@@ -94,11 +101,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true",
                    help="list the ranked candidate plans without timing")
     p.add_argument("--policy", default="offline",
-                   choices=["offline", "online"],
+                   choices=["offline", "online", "ucb"],
                    help="offline: blocking measurement sweep (default); "
-                        "online: explore during simulated dispatch traffic")
+                        "online: epsilon-greedy exploration during "
+                        "simulated dispatch traffic; ucb: the same "
+                        "amortized traffic driven by deterministic UCB1 "
+                        "-- with --threads > 1 both online policies "
+                        "explore the parallel shortlist including the "
+                        "hybrid-subgroup P' sweep")
     p.add_argument("--dispatches", type=int, default=16,
-                   help="simulated dispatches per shape for --policy online")
+                   help="simulated dispatches per shape for "
+                        "--policy online/ucb")
     p.add_argument("--seed", type=int, default=0,
                    help="operand-generation seed (tunes are reproducible "
                         "given the same seed)")
@@ -170,6 +183,22 @@ def cmd_multiply(args, out=sys.stdout) -> int:
     import repro
     from repro.bench.metrics import effective_gflops, median_time
 
+    if args.subgroup is not None:
+        # validate up front: a bad P' must be an argparse-style error, not
+        # a traceback from deep inside the hybrid's remainder phase
+        if not (args.parallel and args.scheme == "hybrid-subgroup"):
+            print("error: --subgroup requires --parallel "
+                  "--scheme hybrid-subgroup", file=sys.stderr)
+            return 2
+        from repro.parallel import available_cores
+
+        threads = args.threads or available_cores()
+        if args.subgroup < 1 or threads % args.subgroup:
+            print(f"error: --subgroup must be a divisor of the thread "
+                  f"count ({threads}), got {args.subgroup}",
+                  file=sys.stderr)
+            return 2
+
     p, q, r = args.shape if args.shape else (args.size,) * 3
     rng = np.random.default_rng(args.seed)
     A = rng.standard_normal((p, q))
@@ -197,7 +226,8 @@ def cmd_multiply(args, out=sys.stdout) -> int:
     elif args.parallel:
         fast = lambda: repro.multiply(  # noqa: E731
             A, B, algorithm=args.algorithm, steps=args.steps,
-            parallel=True, scheme=args.scheme, threads=args.threads)
+            parallel=True, scheme=args.scheme, threads=args.threads,
+            subgroup=args.subgroup)
         label = f"{args.algorithm} ({args.scheme})"
     else:
         fast = lambda: repro.multiply(  # noqa: E731
@@ -257,7 +287,7 @@ def cmd_tune(args, out=sys.stdout) -> int:
                 print(f"   {pl.describe()}", file=out)
         return 0
 
-    if args.policy == "online":
+    if args.policy in ("online", "ucb"):
         return _tune_online(args, shapes, threads, cache, out)
 
     t0 = time.perf_counter()
@@ -294,20 +324,24 @@ def cmd_tune(args, out=sys.stdout) -> int:
 
 
 def _tune_online(args, shapes, threads, cache, out) -> int:
-    """``repro tune --policy online``: learn from simulated dispatches.
+    """``repro tune --policy online|ucb``: learn from simulated dispatches.
 
-    Feeds each shape through ``tuner.matmul`` with the online policy on
-    deterministic synthetic operands -- a dry run of exactly what a
-    production process would experience, useful for pre-warming a cache
-    with online-policy behaviour (and for demoing convergence).
+    Feeds each shape through ``tuner.matmul`` with the requested online
+    policy (epsilon-greedy or deterministic UCB1) on deterministic
+    synthetic operands -- a dry run of exactly what a production process
+    would experience, useful for pre-warming a cache with online-policy
+    behaviour (and for demoing convergence).  With ``--threads > 1`` the
+    explored shortlist spans the parallel schemes, including the
+    hybrid-subgroup P' divisors.
     """
     from repro import tuner
 
     t0 = time.perf_counter()
     for p, q, r in shapes:
-        policy = tuner.OnlineTunePolicy(shortlist=args.candidates,
-                                        seed=args.seed,
-                                        max_dispatches=args.dispatches)
+        cls = (tuner.UCBTunePolicy if args.policy == "ucb"
+               else tuner.OnlineTunePolicy)
+        policy = cls(shortlist=args.candidates, seed=args.seed,
+                     max_dispatches=args.dispatches)
         A, B = tuner.tuning_operands(p, q, r, dtype=args.dtype,
                                      seed=args.seed)
         n = 0
@@ -350,11 +384,25 @@ def cmd_cache(args, out=sys.stdout) -> int:
                 desc = "?"  # still show the row: this is a diagnosis tool
             gf = ent.get("gflops")
             perf = f"{gf:8.2f} eff.GFLOPS" if gf else " " * 17
-            # stale rows show the foreign digest so the operator can see
-            # which machine each entry came from
-            mark = ("fresh" if key not in stale
-                    else f"STALE ({ent.get('fingerprint', 'unstamped')})")
-            print(f"  {key:>32} -> {desc:<36} {perf} {mark}", file=out)
+            # v5 entries carry the parallel configuration as explicit
+            # fields; hybrid-subgroup rows always show P' -- 'auto' when
+            # the plan defers to the execution-time default
+            scheme = ent.get("scheme")
+            cfg = ""
+            if scheme and scheme != "sequential":
+                cfg = f" [{scheme}]"
+                if scheme == "hybrid-subgroup":
+                    sub = ent.get("subgroup")
+                    cfg = f" [{scheme} P'={sub if sub else 'auto'}]"
+            # stale rows show why: a pre-v5 schema (plans tuned before the
+            # P' sweep existed) or the foreign machine digest they carry
+            if key not in stale:
+                mark = "fresh"
+            elif ent.get("schema", tuner.SCHEMA_VERSION) != tuner.SCHEMA_VERSION:
+                mark = f"STALE (schema v{ent['schema']})"
+            else:
+                mark = f"STALE ({ent.get('fingerprint', 'unstamped')})"
+            print(f"  {key:>32} -> {desc:<36} {perf} {mark}{cfg}", file=out)
         return 0
     # invalidate: stale-only by default, so work tuned on this machine
     # survives the sweep

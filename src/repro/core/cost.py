@@ -141,6 +141,65 @@ def estimate_recursive_flops(
     return alg.rank * mults, adds + alg.rank * sub_adds
 
 
+def parallel_traffic(
+    alg: FastAlgorithm | None,
+    p: int,
+    q: int,
+    r: int,
+    steps: int,
+    scheme: str = "sequential",
+    threads: int = 1,
+    subgroup: int | None = None,
+) -> float:
+    """Modeled extra memory traffic (words moved) of a parallel scheme.
+
+    Sequential and DFS executions reuse one S/T/M_r triple per level
+    (Section 4.1), so they set the zero baseline.  Two terms beyond it:
+
+    - **BFS per-level pools** (Section 4.2): expanding level ``l``
+      materializes ``R^l`` leaf-product intermediates totalling
+      ``(R/(MN))^l`` copies of the output ``C``, each written by its task
+      and read back during the combine walk -- ``2 (R/(MN))^l p r`` words
+      per level, paid by ``bfs``, ``hybrid`` and ``hybrid-subgroup``
+      alike (they all run the same level-synchronous task tree).
+
+    - **Ballard-style inter-group traffic** (``hybrid-subgroup`` only,
+      after Ballard et al.'s communication model for parallel Strassen):
+      the ``R^steps mod threads`` remainder leaves run on disjoint groups
+      of ``subgroup`` = P' threads.  With ``G = threads // P'`` groups
+      working concurrently, a ``(G-1)/G`` share of each remainder leaf's
+      operand + output words crosses group boundaries, and leaves that do
+      not fill the last wave of ``G`` idle a group's worth of bandwidth
+      (the load-imbalance cost of Section 4.3).  Large P' (few groups)
+      minimizes cross-group traffic but serializes waves; small P' is the
+      reverse -- which is exactly why P' is a tuning knob and not a
+      formula.
+
+    Returns 0.0 whenever no parallel expansion happens (``threads <= 1``,
+    ``steps <= 0``, or a sequential/DFS scheme).
+    """
+    if alg is None or steps <= 0 or threads <= 1:
+        return 0.0
+    if scheme in ("sequential", "dfs"):
+        return 0.0
+    m, k, n = alg.base_case
+    R = alg.rank
+    factor = 1.0
+    traffic = 0.0
+    for _ in range(steps):
+        factor *= R / (m * n)
+        traffic += 2.0 * factor * p * r
+    if scheme == "hybrid-subgroup" and subgroup:
+        rem = R**steps % threads
+        if rem:
+            lp, lq, lr = p / m**steps, q / k**steps, r / n**steps
+            leaf_words = lp * lq + lq * lr + lp * lr
+            groups = max(1, threads // subgroup)
+            traffic += rem * leaf_words * (groups - 1) / groups
+            traffic += (math.ceil(rem / groups) * groups - rem) * leaf_words
+    return traffic
+
+
 def plan_cost(
     alg: FastAlgorithm | None,
     p: int,
@@ -148,18 +207,30 @@ def plan_cost(
     r: int,
     steps: int,
     add_penalty: float = 4.0,
+    scheme: str = "sequential",
+    threads: int = 1,
+    subgroup: int | None = None,
 ) -> float:
     """Tuner ranking score for running ``alg`` at ``steps`` on ``p x q x r``.
 
     Additions are bandwidth-bound while leaf gemms are compute-bound
     (Section 3.2's central observation), so an addition flop is charged
-    ``add_penalty`` times a multiply flop.  ``alg=None`` scores the plain
-    vendor gemm.  Lower is better; the unit is "gemm-equivalent flops".
+    ``add_penalty`` times a multiply flop.  Parallel schemes additionally
+    pay :func:`parallel_traffic` -- the Section 4.2 per-level ``R/(MN)``
+    bandwidth factor plus the Ballard-style inter-group term for the
+    sub-group hybrid's P' (``subgroup``) -- charged at the same
+    bandwidth penalty, which is what makes P' candidates cost-rankable
+    before any of them is timed.  ``alg=None`` scores the plain vendor
+    gemm.  Lower is better; the unit is "gemm-equivalent flops".
     """
     if alg is None or steps <= 0:
         return 2.0 * p * q * r
     mults, adds = estimate_recursive_flops(alg, p, q, r, steps)
-    return mults + add_penalty * adds
+    cost = mults + add_penalty * adds
+    cost += add_penalty * parallel_traffic(
+        alg, p, q, r, steps, scheme=scheme, threads=threads, subgroup=subgroup
+    )
+    return cost
 
 
 # ------------------------------------------------------ reads/writes, Sec 3.2

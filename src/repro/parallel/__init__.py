@@ -9,9 +9,10 @@ BFS and HYBRID fast-multiply schemes.
 from repro.parallel.blas import blas_threads, get_threads, is_controllable, set_threads
 from repro.parallel.gemm import dgemm, tiled_gemm
 from repro.parallel.pool import WorkerPool, available_cores
-from repro.parallel.schedules import SCHEMES, multiply_parallel
+from repro.parallel.schedules import SCHEMES, default_subgroup, multiply_parallel
 
 __all__ = [
+    "default_subgroup",
     "blas_threads",
     "get_threads",
     "is_controllable",

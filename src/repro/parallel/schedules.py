@@ -61,6 +61,17 @@ from repro.util.validation import check_matmul_dims, require_2d
 SCHEMES = ("dfs", "bfs", "hybrid", "hybrid-subgroup")
 
 
+def default_subgroup(threads: int) -> int:
+    """Fallback P' for the sub-group hybrid when the caller pins none.
+
+    Half the threads (two groups) is the paper's illustrative choice; the
+    tuner never relies on this -- it sweeps P' over the divisors of the
+    thread count and lets the cost model + measurement decide
+    (``repro.tuner.space.subgroup_candidates``).
+    """
+    return max(1, threads // 2)
+
+
 # =========================================================================
 # DFS
 # =========================================================================
@@ -494,9 +505,27 @@ def multiply_parallel(
         out = check_out(out, A, B)
     if scheme not in SCHEMES:
         raise ValueError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
+    if subgroup is not None and scheme != "hybrid-subgroup":
+        # silently running without the requested P' would mask a user
+        # error the CLI and Plan validation both reject
+        raise ValueError(
+            f"subgroup (P') only applies to scheme 'hybrid-subgroup', "
+            f"not {scheme!r}"
+        )
     owns_pool = pool is None
     pool = pool or WorkerPool(threads)
     P = threads or pool.workers
+    sg = None
+    if scheme == "hybrid-subgroup":
+        sg = subgroup if subgroup is not None else default_subgroup(P)
+        if sg < 1 or P % sg:
+            # validated before any work runs, not mid-combine
+            if owns_pool:
+                pool.shutdown()
+            raise ValueError(
+                f"subgroup (P') must divide the thread count ({P}), "
+                f"got {sg}"
+            )
     try:
         if scheme == "dfs":
             if workspace is not None:
@@ -506,9 +535,6 @@ def multiply_parallel(
         root = _Node(A, B, 0, algorithm, result_buf=out)
         if scheme == "bfs":
             return _run_bfs(root, steps, pool, ws=workspace)
-        sg = subgroup if scheme == "hybrid-subgroup" else None
-        if scheme == "hybrid-subgroup" and sg is None:
-            sg = max(1, P // 2)
         return _run_hybrid(root, steps, pool, P, subgroup=sg, ws=workspace)
     finally:
         if owns_pool:

@@ -7,17 +7,23 @@ subsystem turns that finding into machinery:
 
 - :mod:`repro.tuner.space`    -- the :class:`Plan` dataclass and candidate
   enumeration (dtype-specific: float32 recurses deeper within its
-  stability budget), pruned/ranked by the ``core.cost`` analytical model;
+  stability budget; thread-aware: all four parallel schemes plus the
+  sub-group hybrid's P' swept over the divisors of the thread count),
+  pruned/ranked by the ``core.cost`` analytical model including its
+  communication terms;
 - :mod:`repro.tuner.measure`  -- timed trials (``tune`` / ``tune_shape``)
   under a wall-clock budget on deterministic seeded operands, reporting
   effective GFLOPS;
 - :mod:`repro.tuner.cache`    -- the persistent, versioned JSON plan cache
-  keyed by ``(m, k, n, dtype, threads)`` with nearest-shape fallback;
-  every entry carries a machine fingerprint, so a cache tuned on another
-  box is bypassed and re-tuned, never trusted;
+  keyed by ``(m, k, n, dtype, threads)`` with nearest-shape fallback
+  (two-tier: exact-thread entries first, then penalized cross-thread
+  transfer with the plan retargeted to the queried thread count); every
+  entry carries a machine fingerprint, so a cache tuned on another box
+  is bypassed and re-tuned, never trusted;
 - :mod:`repro.tuner.policy`   -- pluggable tuning policies: ``never`` /
   ``auto`` / ``always`` / ``online`` (budgeted epsilon-greedy exploration
-  during real calls, winner promoted into the cache);
+  during real calls, winner promoted into the cache) / ``ucb``
+  (deterministic UCB1 over the same amortized harness);
 - :mod:`repro.tuner.dispatch` -- ``matmul(A, B)``: cache hit -> run the
   plan; miss -> cost-model pick, learning per the selected policy.
 
@@ -34,7 +40,12 @@ Quick start::
         C = tuner.matmul(A, B, tune="online")
 """
 
-from repro.tuner.cache import PlanCache, SCHEMA_VERSION, default_cache_path
+from repro.tuner.cache import (
+    PlanCache,
+    SCHEMA_VERSION,
+    default_cache_path,
+    retarget_plan,
+)
 from repro.tuner.dispatch import (
     build_workspace,
     execute_plan,
@@ -59,11 +70,17 @@ from repro.tuner.policy import (
     AutoTunePolicy,
     OnlineTunePolicy,
     TuningPolicy,
+    UCBTunePolicy,
     get_policy,
     register_policy,
     reset_shared_policies,
 )
-from repro.tuner.space import Plan, candidate_algorithms, enumerate_plans
+from repro.tuner.space import (
+    Plan,
+    candidate_algorithms,
+    enumerate_plans,
+    subgroup_candidates,
+)
 
 __all__ = [
     "Plan",
@@ -77,6 +94,7 @@ __all__ = [
     "OnlineTunePolicy",
     "ShapeReport",
     "TuningPolicy",
+    "UCBTunePolicy",
     "candidate_algorithms",
     "default_cache_path",
     "enumerate_plans",
@@ -89,7 +107,9 @@ __all__ = [
     "reset_shared_cache",
     "reset_shared_policies",
     "reset_workspaces",
+    "retarget_plan",
     "shutdown_shared_pools",
+    "subgroup_candidates",
     "tune",
     "tune_shape",
     "tuning_operands",

@@ -17,14 +17,21 @@ fingerprint (other CPU, other BLAS, other core count) is *stale*: lookups
 bypass it -- falling through to the cost model -- rather than trust it,
 and ``invalidate()`` clears exactly those entries.
 
-Untuned shapes fall back to the *nearest* tuned shape (same dtype and
-thread count, closest in log-space) -- the paper's Figure 5/6 regimes are
-broad plateaus, so a plan tuned at ``3000 x 416 x 3000`` transfers to
-``3200 x 400 x 3200`` essentially unchanged.
+Untuned shapes fall back to the *nearest* tuned shape (same dtype,
+closest in log-space) -- the paper's Figure 5/6 regimes are broad
+plateaus, so a plan tuned at ``3000 x 416 x 3000`` transfers to
+``3200 x 400 x 3200`` essentially unchanged.  The fallback is two-tier:
+entries tuned at the queried thread count always win; only when none
+lies within the radius are entries from *other* thread counts
+considered, their distance scaled by a cross-thread penalty and their
+plan rewritten (thread count retargeted, the sub-group hybrid's P'
+snapped back to a divisor) so what comes back is always executable at
+the queried thread count.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import os
@@ -38,12 +45,28 @@ from repro.tuner.space import Plan
 #: measured on the workspace-arena serving path -- sequential plans then
 #: ran the reference interpreter; v4: sequential plans are served by the
 #: *generated* modules drawing from the arena, so v3 interpreter-path
-#: timings no longer describe what dispatch executes and must be re-tuned)
-SCHEMA_VERSION = 4
+#: timings no longer describe what dispatch executes and must be re-tuned;
+#: v5: entries record the scheme and sub-group P' they were tuned with --
+#: v4 plans never swept P', so their parallel timings do not describe the
+#: enlarged candidate space and must be re-tuned)
+SCHEMA_VERSION = 5
+
+#: schema versions :meth:`PlanCache.load` can still *read*: their entries
+#: surface as stale-schema (visible to ``cache show`` and cleared by
+#: ``invalidate``) but are bypassed by every lookup, exactly like a
+#: foreign machine fingerprint
+COMPAT_SCHEMAS = (4,)
 
 #: default max log-space distance for the nearest-shape fallback
 #: (1.0 ~= one dimension off by a factor e)
 NEAREST_RADIUS = 1.0
+
+#: extra log-space distance per ln-factor of thread-count mismatch in the
+#: cross-thread nearest fallback: a plan tuned at 2 threads queried at 4
+#: is penalized by ``0.5 * ln 2`` on top of its shape distance, so it can
+#: never outrank an exact-thread hit (those are searched first) and only
+#: transfers when it is genuinely close
+CROSS_THREAD_PENALTY = 0.5
 
 
 def default_cache_path() -> Path:
@@ -66,6 +89,20 @@ def _parse_key(key: str) -> tuple[int, int, int, str, int] | None:
         return m, k, n, dtype, int(t.rstrip("t"))
     except (ValueError, AttributeError):
         return None
+
+
+def retarget_plan(plan: Plan, threads: int) -> Plan:
+    """Rewrite a plan tuned at another thread count so it is *valid* at
+    ``threads``: the thread count is replaced, and a sub-group P' that no
+    longer divides the new count snaps to the largest divisor not above
+    it (P' = 1 always exists, so this never fails).  The algorithm,
+    depth, scheme and strategy -- the knobs the paper's regime plateaus
+    make transferable -- are kept."""
+    sub = plan.subgroup
+    if sub is not None:
+        sub = max(d for d in range(1, min(sub, threads) + 1)
+                  if threads % d == 0)
+    return dataclasses.replace(plan, threads=threads, subgroup=sub)
 
 
 class PlanCache:
@@ -107,14 +144,24 @@ class PlanCache:
             raw = json.loads(self.path.read_text())
         except (OSError, json.JSONDecodeError):
             return self
-        if not isinstance(raw, dict) or raw.get("schema") != SCHEMA_VERSION:
-            return self  # foreign or stale file: start fresh, don't crash
+        if not isinstance(raw, dict):
+            return self
+        schema = raw.get("schema")
+        if schema != SCHEMA_VERSION and schema not in COMPAT_SCHEMAS:
+            return self  # foreign or unknown file: start fresh, don't crash
         entries = raw.get("entries", {})
         if isinstance(entries, dict):
             self._entries = {
                 k: v for k, v in entries.items()
                 if _parse_key(k) is not None and isinstance(v, dict)
             }
+        if schema != SCHEMA_VERSION:
+            # the v4 -> v5 migration path: entries survive the read (so
+            # `cache show` can display them and `invalidate` can clear
+            # them) but carry their origin schema, which _fresh treats
+            # like a foreign fingerprint -- bypassed, never trusted
+            for ent in self._entries.values():
+                ent.setdefault("schema", schema)
         return self
 
     def save(self) -> bool:
@@ -155,7 +202,8 @@ class PlanCache:
             self.load()
 
     def _fresh(self, ent: dict) -> bool:
-        return ent.get("fingerprint") == self.fingerprint
+        return (ent.get("schema", SCHEMA_VERSION) == SCHEMA_VERSION
+                and ent.get("fingerprint") == self.fingerprint)
 
     # -------------------------------------------------------------- access
     def __len__(self) -> int:
@@ -197,9 +245,15 @@ class PlanCache:
     def put(self, m: int, k: int, n: int, dtype: str, threads: int,
             plan: Plan, seconds: float | None = None,
             gflops: float | None = None) -> None:
+        """Store a tuned plan.  Besides the plan dict itself, the entry
+        records the scheme and sub-group P' it was tuned with as explicit
+        top-level fields -- ``cache show`` and external tooling read the
+        parallel configuration without decoding the plan."""
         self._ensure()
         self._entries[problem_key(m, k, n, dtype, threads)] = {
             "plan": plan.to_dict(),
+            "scheme": plan.scheme,
+            "subgroup": plan.subgroup,
             "seconds": seconds,
             "gflops": gflops,
             "fingerprint": self.fingerprint,
@@ -208,34 +262,56 @@ class PlanCache:
     def nearest(
         self, m: int, k: int, n: int, dtype: str = "float64",
         threads: int = 1, radius: float = NEAREST_RADIUS,
+        cross_thread: bool = True,
     ) -> Plan | None:
-        """Closest tuned shape with the same dtype and thread count.
+        """Closest tuned shape with the same dtype; ``None`` when nothing
+        tuned (and fingerprint-fresh) lies within ``radius``.
 
-        Distance is Euclidean in log-dimension space; ``None`` when
-        nothing tuned (and fingerprint-fresh) lies within ``radius``.
+        Distance is Euclidean in log-dimension space.  Entries tuned at
+        the queried thread count are searched first and always win; only
+        when none is in range does the search fall back *across* thread
+        counts, each candidate's distance scaled up by
+        :data:`CROSS_THREAD_PENALTY` per ln-factor of thread mismatch.  A
+        cross-thread hit is retargeted via :func:`retarget_plan` before it
+        is returned, so the plan is always valid at ``threads``.
+
+        ``cross_thread=False`` restricts the search to exact-thread
+        entries: the online learning policies use this so a transfer
+        counts as a serving *prior*, not as measured evidence that would
+        end exploration at the new thread count.
         """
         self._ensure()
-        best, best_d = None, radius
+        best_exact, d_exact = None, radius
+        best_cross, d_cross = None, radius
         for key, ent in self._entries.items():
             parsed = _parse_key(key)
             if parsed is None or not self._fresh(ent):
                 continue
             em, ek, en, edtype, et = parsed
-            if edtype != dtype or et != threads:
+            if edtype != dtype:
+                continue
+            if et != threads and not cross_thread:
                 continue
             d = math.sqrt(
                 math.log(em / m) ** 2
                 + math.log(ek / k) ** 2
                 + math.log(en / n) ** 2
             )
-            if d <= best_d:
-                best, best_d = ent, d
+            if et == threads:
+                if d <= d_exact:
+                    best_exact, d_exact = ent, d
+            else:
+                d += CROSS_THREAD_PENALTY * abs(math.log(et / threads))
+                if d <= d_cross:
+                    best_cross, d_cross = ent, d
+        best = best_exact if best_exact is not None else best_cross
         if best is None:
             return None
         try:
-            return Plan.from_dict(best["plan"])
+            plan = Plan.from_dict(best["plan"])
         except (KeyError, TypeError, ValueError):
             return None
+        return plan if plan.threads == threads else retarget_plan(plan, threads)
 
     # -------------------------------------------------------- invalidation
     def stale_keys(self) -> list[str]:

@@ -6,9 +6,14 @@ Resolution order for a ``p x q x r`` problem (the subsystem's contract):
    stamped with a foreign machine fingerprint are bypassed, not trusted):
    execute its plan verbatim (deterministic: identical calls pick
    identical plans);
-2. **nearest neighbour** -- an adjacent tuned shape exists: borrow its plan
-   (the paper's performance regimes are wide plateaus);
-3. **cost model** -- rank the candidate space analytically and run the
+2. **nearest neighbour** -- an adjacent tuned shape exists at the same
+   thread count: borrow its plan (the paper's performance regimes are
+   wide plateaus);
+3. **cross-thread transfer** -- an adjacent shape was tuned at *another*
+   thread count: serve its plan retargeted (``PlanCache.nearest``'s
+   penalized fallback), while learning policies treat it as unmeasured
+   and tune/explore at this thread count;
+4. **cost model** -- rank the candidate space analytically and run the
    best plan untimed; the tuning *policy* (:mod:`repro.tuner.policy`)
    decides whether and how to learn from the call: ``tune="auto"`` /
    ``"always"`` run a blocking synthetic sweep, ``tune="online"``
@@ -185,6 +190,9 @@ def execute_plan(
     always run the *generated* module (Section 3.1) -- with a workspace
     its S/T/M chains are arena views and ``out`` is written directly,
     with neither an interpreter fallback nor a final full-matrix copy.
+    Parallel plans carry their sub-group P' (``plan.subgroup``) through to
+    the schedule verbatim -- the tuner's swept value is what executes, not
+    a derived default.
     """
     if plan.is_dgemm:
         with blas.blas_threads(plan.threads):
@@ -201,7 +209,8 @@ def execute_plan(
         pool = _shared_pool(plan.threads)
     return multiply_parallel(
         A, B, alg, steps=plan.steps, scheme=plan.scheme,
-        pool=pool, threads=plan.threads, out=out, workspace=workspace,
+        pool=pool, threads=plan.threads, subgroup=plan.subgroup,
+        out=out, workspace=workspace,
     )
 
 
@@ -215,11 +224,15 @@ def get_plan(
 ) -> tuple[Plan, str]:
     """Resolve the plan for a shape; returns ``(plan, source)``.
 
-    ``source`` is one of ``"trivial"``, ``"cache"``, ``"nearest"`` or
-    ``"model"`` -- callers use it to decide whether online tuning is worth
-    the trouble (only ``"model"`` plans are unmeasured guesses).  Cache
-    and nearest lookups only ever return fingerprint-fresh entries; a
-    cache full of another machine's plans resolves to ``"model"``.
+    ``source`` is one of ``"trivial"``, ``"cache"``, ``"nearest"``,
+    ``"transfer"`` or ``"model"`` -- callers use it to decide whether
+    tuning is worth the trouble: ``"model"`` plans are unmeasured guesses
+    and ``"transfer"`` plans (cross-thread retargeted via
+    :meth:`PlanCache.nearest`) were never measured *at this thread
+    count*, so the auto/online policies treat both as tunable while pure
+    dispatch serves them as-is.  Cache and nearest lookups only ever
+    return fingerprint-fresh entries; a cache full of another machine's
+    plans resolves to ``"model"``.
 
     ``threads`` defaults to every available core, the same default
     ``tune``/``matmul`` use, so a tune-then-dispatch pair agrees on the
@@ -233,9 +246,12 @@ def get_plan(
     plan = cache.get(p, q, r, dtype, threads)
     if plan is not None:
         return plan, "cache"
-    plan = cache.nearest(p, q, r, dtype, threads)
+    plan = cache.nearest(p, q, r, dtype, threads, cross_thread=False)
     if plan is not None:
         return plan, "nearest"
+    plan = cache.nearest(p, q, r, dtype, threads)
+    if plan is not None:
+        return plan, "transfer"
     plans = enumerate_plans(p, q, r, threads=threads, dtype=dtype)
     return plans[0], "model"
 

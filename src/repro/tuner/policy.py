@@ -19,14 +19,20 @@ deployment:
   and times the call it was going to make anyway -- the measurement cost
   is amortized to (almost) nothing.  Once every candidate has enough
   trials, or the dispatch budget is exhausted, the winner is promoted
-  into the plan cache and the shape behaves like ``never`` from then on.
+  into the plan cache and the shape behaves like ``never`` from then on;
+- ``ucb``     -- the same amortized harness driven by UCB1 instead of a
+  coin flip: deterministic confidence-bound arm selection (no RNG), the
+  natural fit for parallel-plan shortlists where the P' sub-space makes
+  candidates plentiful and per-trial variance matters.
 
-``register_policy`` admits project-specific strategies (UCB, per-tenant
-budgets, ...) without touching dispatch.
+``register_policy`` admits project-specific strategies (per-tenant
+budgets, ...) without touching dispatch; ``ucb`` itself registers through
+that path.
 """
 
 from __future__ import annotations
 
+import math
 import statistics
 import time
 import zlib
@@ -81,7 +87,10 @@ class TuningPolicy:
 
 
 class AutoTunePolicy(TuningPolicy):
-    """Offline-tune (synthetic operands, blocking) on a cost-model miss."""
+    """Offline-tune (synthetic operands, blocking) when dispatch has no
+    measured evidence for the key: a cost-model miss, or a cross-thread
+    ``"transfer"`` plan -- valid to serve, but never timed at this thread
+    count, so the first call measures properly and caches the result."""
 
     name = "auto"
 
@@ -92,7 +101,7 @@ class AutoTunePolicy(TuningPolicy):
         self.persist = persist
 
     def _should_tune(self, source: str) -> bool:
-        return source == "model"
+        return source in ("model", "transfer")
 
     def select(self, p, q, r, dtype, threads, cache):
         plan, source = super().select(p, q, r, dtype, threads, cache)
@@ -139,10 +148,14 @@ class OnlineTunePolicy(TuningPolicy):
     does debugging a production trace.
 
     The dispatch contract's nearest-neighbour step is honored: a
-    fingerprint-fresh plan tuned at an adjacent shape is trusted (the
-    paper's regimes are wide plateaus) and ends exploration for the
-    shape, exactly as ``auto`` would dispatch it.  Exploration only runs
-    where *no* measured evidence exists.
+    fingerprint-fresh plan tuned at an adjacent shape *at the same thread
+    count* is trusted (the paper's regimes are wide plateaus) and ends
+    exploration for the shape, exactly as ``auto`` would dispatch it.
+    Exploration only runs where no measured evidence exists -- and a
+    cross-thread transfer is a prior, not evidence: timings from another
+    thread count say nothing about, e.g., which P' wins here, so the
+    policy keeps exploring at the queried thread count (pure dispatch,
+    ``tune="never"``, still serves the transfer in the meantime).
 
     ``clock`` is injectable (tests substitute a fake monotonic clock to
     script which plan "wins"); dispatch brackets the real ``execute_plan``
@@ -207,7 +220,7 @@ class OnlineTunePolicy(TuningPolicy):
         hit = cache.get(p, q, r, dtype, threads)
         if hit is not None:
             return hit, "cache"
-        near = cache.nearest(p, q, r, dtype, threads)
+        near = cache.nearest(p, q, r, dtype, threads, cross_thread=False)
         if near is not None:
             return near, "nearest"
         key = (p, q, r, dtype, threads)
@@ -263,6 +276,71 @@ class OnlineTunePolicy(TuningPolicy):
         return bool(st and st.done)
 
 
+#: UCB1 exploration weight (the bonus multiplier on sqrt(2 ln N / n_i));
+#: rewards are normalized into (0, 1], so 1.0 keeps the classic balance
+DEFAULT_UCB_EXPLORATION = 1.0
+
+
+class UCBTunePolicy(OnlineTunePolicy):
+    """UCB1 exploration of the shortlist during real dispatches.
+
+    Same amortized deterministic timing harness as epsilon-greedy
+    (:class:`OnlineTunePolicy`): dispatch brackets the real call with the
+    injectable ``clock``, ``observe`` accumulates per-candidate timings,
+    and the same promotion contract commits the median-best candidate to
+    the cache once every candidate has ``min_trials`` observations or the
+    ``max_dispatches`` budget runs out.
+
+    Only the arm-selection rule differs, and it is *fully deterministic*
+    -- no RNG at all, unlike epsilon-greedy's coin flip.  Each candidate's
+    observed median time is normalized into a reward in (0, 1] (the
+    incumbent scores 1) and the pick maximizes
+
+        reward_i + exploration * sqrt(2 ln N / n_i)
+
+    with ``N`` total observations and ``n_i`` the candidate's own count;
+    untried candidates are bootstrapped first in cost-rank order.  Ties
+    resolve to the better cost rank, so for a fixed problem key the
+    exploration sequence -- and therefore each candidate's trial count --
+    is a pure function of the observed durations.
+    """
+
+    name = "ucb"
+
+    def __init__(self, shortlist: int = DEFAULT_SHORTLIST,
+                 min_trials: int = DEFAULT_MIN_TRIALS,
+                 exploration: float = DEFAULT_UCB_EXPLORATION,
+                 max_dispatches: int = DEFAULT_MAX_DISPATCHES,
+                 seed: int = 0, clock=time.perf_counter,
+                 persist: bool = True):
+        if exploration < 0.0:
+            raise ValueError(
+                f"exploration must be >= 0, got {exploration}"
+            )
+        super().__init__(shortlist=shortlist, min_trials=min_trials,
+                         epsilon=0.0, max_dispatches=max_dispatches,
+                         seed=seed, clock=clock, persist=persist)
+        self.exploration = exploration
+
+    def _pick(self, st: _OnlineState) -> int:
+        for i, ts in enumerate(st.times):
+            if not ts:  # bootstrap: every arm once, in cost-rank order
+                return i
+        total = sum(len(ts) for ts in st.times)
+        medians = [statistics.median(ts) for ts in st.times]
+        t_best = min(medians)
+
+        def ucb(i: int) -> float:
+            reward = t_best / medians[i] if medians[i] > 0 else 1.0
+            bonus = self.exploration * math.sqrt(
+                2.0 * math.log(total) / len(st.times[i])
+            )
+            return reward + bonus
+
+        # max by score; ties resolve to the better cost rank (lower index)
+        return max(range(len(st.times)), key=lambda i: (ucb(i), -i))
+
+
 #: registry of named policies (pluggable via :func:`register_policy`)
 POLICIES: dict[str, type[TuningPolicy]] = {
     "never": TuningPolicy,
@@ -309,3 +387,9 @@ def get_policy(spec: str | TuningPolicy, **kwargs) -> TuningPolicy:
 def reset_shared_policies() -> None:
     """Drop the process-shared policy instances (tests; config changes)."""
     _shared.clear()
+
+
+# UCB rides the same pluggable-registration path third-party policies use
+# (it needs nothing register_policy does not provide), so matmul(tune="ucb")
+# and `repro tune --policy ucb` resolve it like any other name.
+register_policy("ucb", UCBTunePolicy)

@@ -2,11 +2,13 @@
 
 A :class:`Plan` pins down everything the paper leaves to the practitioner:
 which algorithm (by catalog name, including shape-matched permutations),
-how many recursive steps, which parallel schedule, which matrix-addition
-strategy, the leaf cutoff and the thread count.  ``enumerate_plans``
-generates the candidates for one problem shape and ranks them with the
-``core.cost`` analytical model so measurement (``repro.tuner.measure``)
-only has to time a short, promising shortlist.
+how many recursive steps, which parallel schedule (including the
+sub-group hybrid's P', swept over the divisors of the thread count),
+which matrix-addition strategy, the leaf cutoff and the thread count.
+``enumerate_plans`` generates the candidates for one problem shape and
+ranks them with the ``core.cost`` analytical model -- arithmetic plus the
+Section 4.2 / Ballard-style communication terms -- so measurement
+(``repro.tuner.measure``) only has to time a short, promising shortlist.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import dataclasses
 import functools
 
 from repro.algorithms import get_algorithm, list_algorithms
-from repro.core.cost import plan_cost
+from repro.core.cost import parallel_traffic, plan_cost
 from repro.core.stability import max_stable_steps
 from repro.core.transforms import permutation_family
 from repro.parallel.schedules import SCHEMES
@@ -68,7 +70,11 @@ class Plan:
     or ``"dgemm"`` for the vendor BLAS; ``steps == 0`` also means plain
     BLAS.  ``scheme`` is ``"sequential"`` or one of the parallel schemes;
     ``threads`` is the BLAS thread count (sequential/dgemm) or worker
-    count (parallel schemes).
+    count (parallel schemes).  ``subgroup`` is the sub-group hybrid's P'
+    (Section 4.3): the remainder leaves run on disjoint groups of
+    ``subgroup`` threads, so it must divide ``threads``; ``None`` defers
+    to :func:`repro.parallel.schedules.default_subgroup` at execution
+    time and is the only legal value for every other scheme.
     """
 
     algorithm: str = DGEMM
@@ -77,6 +83,7 @@ class Plan:
     strategy: str = "write_once"
     threads: int = 1
     min_leaf: int = DEFAULT_MIN_LEAF
+    subgroup: int | None = None
 
     def __post_init__(self):
         if self.scheme not in PLAN_SCHEMES:
@@ -87,6 +94,17 @@ class Plan:
             raise ValueError("steps must be >= 0")
         if self.threads < 1:
             raise ValueError("threads must be >= 1")
+        if self.subgroup is not None:
+            if self.scheme != "hybrid-subgroup":
+                raise ValueError(
+                    f"subgroup (P') only applies to the hybrid-subgroup "
+                    f"scheme, not {self.scheme!r}"
+                )
+            if self.subgroup < 1 or self.threads % self.subgroup:
+                raise ValueError(
+                    f"subgroup must be a divisor of threads={self.threads}, "
+                    f"got {self.subgroup}"
+                )
 
     @property
     def is_dgemm(self) -> bool:
@@ -95,8 +113,11 @@ class Plan:
     def describe(self) -> str:
         if self.is_dgemm:
             return f"dgemm({self.threads}t)"
+        scheme = self.scheme
+        if self.subgroup is not None:
+            scheme = f"{scheme}[P'={self.subgroup}]"
         return (
-            f"{self.algorithm} steps={self.steps} {self.scheme}"
+            f"{self.algorithm} steps={self.steps} {scheme}"
             f"({self.threads}t)"
         )
 
@@ -154,6 +175,14 @@ def max_useful_steps(
     return steps
 
 
+def subgroup_candidates(threads: int) -> list[int]:
+    """P' values the hybrid-subgroup sub-space sweeps: the proper divisors
+    of ``threads`` (Section 4.3 requires P' | P; ``P' == P`` degenerates
+    to the plain hybrid's whole-pool remainder phase, so it is excluded --
+    the ``hybrid`` candidate already covers it)."""
+    return [d for d in range(1, threads) if threads % d == 0]
+
+
 def enumerate_plans(
     p: int,
     q: int,
@@ -166,10 +195,18 @@ def enumerate_plans(
 ) -> list[Plan]:
     """Candidate plans for one shape, best-ranked (by the cost model) first.
 
-    The space is algorithm x steps x schedule, pruned: recursion depths
-    whose leaves drop below ``min_leaf`` are skipped, and fast plans whose
-    modeled cost exceeds plain dgemm are dropped (they cannot win).  The
-    dgemm baseline plan is always included, so the list is never empty.
+    The space is algorithm x steps x schedule (x P' for the sub-group
+    hybrid), pruned: recursion depths whose leaves drop below ``min_leaf``
+    are skipped, and fast plans whose modeled cost exceeds plain dgemm are
+    dropped (they cannot win).  The dgemm baseline plan is always
+    included, so the list is never empty.
+
+    With ``threads > 1`` every parallel scheme is enumerated -- ranking
+    (the cost model's :func:`repro.core.cost.parallel_traffic` term), not
+    list slicing, decides which schemes make a shortlist -- and the
+    ``hybrid-subgroup`` scheme is swept over :func:`subgroup_candidates`
+    per (algorithm, steps) pair, so the decisive P' knob of the paper's
+    Section 4.3 is an explicit tuning dimension.
 
     The space is dtype-specific: float32 uses a lower leaf cutoff and a
     deeper step cap (``FLOAT32_MIN_LEAF`` / ``MAX_STEPS``), but every
@@ -181,7 +218,8 @@ def enumerate_plans(
     if min_leaf is None:
         min_leaf = default_min_leaf(dtype)
     cap = MAX_STEPS.get(dtype, MAX_STEPS["float64"])
-    schemes = ("sequential",) if threads <= 1 else SCHEMES[:3]
+    schemes = ("sequential",) if threads <= 1 else SCHEMES
+    subgroups = subgroup_candidates(threads)
     scored: list[tuple[float, Plan]] = [
         (plan_cost(None, p, q, r, 0), Plan(threads=threads, min_leaf=min_leaf))
     ]
@@ -192,14 +230,26 @@ def enumerate_plans(
                                  min_leaf=min_leaf, cap=cap)
         depth = min(depth, max_stable_steps(alg, dtype))
         for steps in range(1, depth + 1):
-            cost = plan_cost(alg, p, q, r, steps, add_penalty=add_penalty)
-            if cost >= dgemm_cost:
+            # the arithmetic term depends only on (algorithm, steps);
+            # schemes differ by their (non-negative) traffic term, so an
+            # (alg, steps) pair that already loses to dgemm sequentially
+            # cannot win under any scheme
+            arith = plan_cost(alg, p, q, r, steps, add_penalty=add_penalty)
+            if arith >= dgemm_cost:
                 continue
             for scheme in schemes:
-                scored.append((cost, Plan(
-                    algorithm=name, steps=steps, scheme=scheme,
-                    threads=threads, min_leaf=min_leaf,
-                )))
+                sweep = subgroups if scheme == "hybrid-subgroup" else [None]
+                for sub in sweep:
+                    cost = arith + add_penalty * parallel_traffic(
+                        alg, p, q, r, steps, scheme=scheme,
+                        threads=threads, subgroup=sub,
+                    )
+                    if cost >= dgemm_cost:
+                        continue
+                    scored.append((cost, Plan(
+                        algorithm=name, steps=steps, scheme=scheme,
+                        threads=threads, min_leaf=min_leaf, subgroup=sub,
+                    )))
     scored.sort(key=lambda cp_: (cp_[0], cp_[1].describe()))
     plans = [pl for _, pl in scored]
     if max_candidates is not None:

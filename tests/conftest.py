@@ -2,16 +2,86 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.algorithms import classical, get_algorithm, strassen, winograd
+
+#: worker-thread count the multicore tier exercises; single-core boxes can
+#: still run the tier by exporting REPRO_TEST_THREADS (thread pools work
+#: fine oversubscribed, just slower), which is exactly what CI does
+MULTICORE_THREADS = 4
+
+
+def test_thread_budget() -> int:
+    """Threads the multicore tier may assume: ``REPRO_TEST_THREADS`` if
+    set (CI pins it so the tier is explicit, never a runner accident),
+    else the machine's CPU count."""
+    env = os.environ.get("REPRO_TEST_THREADS")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running test (deselect with -m 'not slow')"
     )
+    config.addinivalue_line(
+        "markers",
+        "multicore: needs >= 4 worker threads (REPRO_TEST_THREADS or "
+        "cpu_count); auto-skipped below that so single-core local runs "
+        "stay green",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    budget = test_thread_budget()
+    if budget >= MULTICORE_THREADS:
+        return
+    skip = pytest.mark.skip(
+        reason=f"multicore tier needs >= {MULTICORE_THREADS} threads "
+               f"(have {budget}); set REPRO_TEST_THREADS={MULTICORE_THREADS} "
+               f"to force"
+    )
+    for item in items:
+        if "multicore" in item.keywords:
+            item.add_marker(skip)
+
+
+def run_cli(*argv):
+    """Parse ``argv`` with the real CLI parser and dispatch in-process.
+
+    Shared by every CLI-exercising test module; resolves the handler from
+    the command name, so new subcommands need no harness changes.
+    """
+    import io
+
+    from repro import cli
+
+    out = io.StringIO()
+    args = cli._build_parser().parse_args(list(argv))
+    rc = getattr(cli, f"cmd_{args.command}")(args, out=out)
+    return rc, out.getvalue()
+
+
+class FakeClock:
+    """Monotonic clock whose time only moves when a fake plan 'runs' --
+    the scripted timing oracle of the policy-convergence tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
 
 
 @pytest.fixture(scope="session")

@@ -1,29 +1,13 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
-import io
 import subprocess
 import sys
 
 import numpy as np
 import pytest
+from conftest import run_cli
 
 from repro.cli import _build_parser, main
-
-
-def run_cli(*argv):
-    out = io.StringIO()
-    args = _build_parser().parse_args(list(argv))
-    from repro import cli
-
-    handler = {
-        "list": cli.cmd_list,
-        "verify": cli.cmd_verify,
-        "multiply": cli.cmd_multiply,
-        "codegen": cli.cmd_codegen,
-        "search": cli.cmd_search,
-    }[args.command]
-    rc = handler(args, out=out)
-    return rc, out.getvalue()
 
 
 class TestList:
@@ -98,6 +82,28 @@ class TestMultiply:
         rc, text = run_cli("multiply", "-a", "strassen", "-n", "64",
                            "--trials", "1", "--blas-threads", "1")
         assert rc == 0
+
+    def test_subgroup_path(self):
+        rc, text = run_cli("multiply", "-a", "strassen", "-n", "96",
+                           "--parallel", "--scheme", "hybrid-subgroup",
+                           "--threads", "2", "--subgroup", "1",
+                           "--trials", "1")
+        assert rc == 0
+        assert "hybrid-subgroup" in text
+
+    def test_subgroup_must_divide_threads(self, capsys):
+        rc, _ = run_cli("multiply", "-a", "strassen", "-n", "96",
+                        "--parallel", "--scheme", "hybrid-subgroup",
+                        "--threads", "4", "--subgroup", "3", "--trials", "1")
+        assert rc == 2
+        assert "divisor" in capsys.readouterr().err
+
+    def test_subgroup_requires_subgroup_scheme(self, capsys):
+        rc, _ = run_cli("multiply", "-a", "strassen", "-n", "96",
+                        "--parallel", "--scheme", "bfs", "--threads", "2",
+                        "--subgroup", "1", "--trials", "1")
+        assert rc == 2
+        assert "hybrid-subgroup" in capsys.readouterr().err
 
 
 class TestCodegen:

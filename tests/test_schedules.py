@@ -85,6 +85,14 @@ class TestValidation:
                               threads=2, subgroup=1)
         np.testing.assert_allclose(C, A @ A, atol=1e-10)
 
+    def test_subgroup_rejected_for_other_schemes(self, pool):
+        """A requested P' must never be silently dropped: every entry
+        point (library, CLI, Plan) rejects it for non-subgroup schemes."""
+        A = random_matrix(32, 32, 0)
+        with pytest.raises(ValueError, match="hybrid-subgroup"):
+            multiply_parallel(A, A, strassen(), steps=1, scheme="hybrid",
+                              pool=pool, threads=2, subgroup=1)
+
 
 class TestTreeMechanics:
     def test_leaf_count_strassen_two_levels(self, pool):

@@ -40,6 +40,30 @@ class TestPlan:
         assert Plan(algorithm="strassen", steps=0).is_dgemm
         assert not Plan(algorithm="strassen", steps=1).is_dgemm
 
+    def test_subgroup_roundtrip_and_describe(self):
+        pl = Plan(algorithm="strassen", steps=2, scheme="hybrid-subgroup",
+                  threads=4, subgroup=2)
+        assert Plan.from_dict(pl.to_dict()) == pl
+        assert "P'=2" in pl.describe()
+        # plans from a pre-P' cache dict default to the derived P'
+        d = pl.to_dict()
+        del d["subgroup"]
+        assert Plan.from_dict(d).subgroup is None
+
+    def test_subgroup_validation(self):
+        with pytest.raises(ValueError, match="divisor"):
+            Plan(algorithm="strassen", steps=1, scheme="hybrid-subgroup",
+                 threads=4, subgroup=3)
+        with pytest.raises(ValueError, match="divisor"):
+            Plan(algorithm="strassen", steps=1, scheme="hybrid-subgroup",
+                 threads=4, subgroup=0)
+        with pytest.raises(ValueError, match="hybrid-subgroup"):
+            Plan(algorithm="strassen", steps=1, scheme="bfs",
+                 threads=4, subgroup=2)
+        # None is always legal (execution-time default)
+        assert Plan(algorithm="strassen", steps=1, scheme="hybrid-subgroup",
+                    threads=4).subgroup is None
+
 
 class TestCostModel:
     def test_matches_exact_recurrence_on_divisible_shape(self):
@@ -63,6 +87,50 @@ class TestCostModel:
         cheap = plan_cost(alg, 1024, 1024, 1024, 1, add_penalty=1.0)
         dear = plan_cost(alg, 1024, 1024, 1024, 1, add_penalty=10.0)
         assert dear > cheap
+
+    def test_parallel_traffic_baselines_are_free(self):
+        from repro.core.cost import parallel_traffic
+
+        alg = get_algorithm("strassen")
+        # sequential/DFS reuse one S/T/M_r triple per level: zero extra
+        for scheme in ("sequential", "dfs"):
+            assert parallel_traffic(alg, 1024, 1024, 1024, 2,
+                                    scheme=scheme, threads=4) == 0.0
+        # no parallel expansion without threads or steps
+        assert parallel_traffic(alg, 1024, 1024, 1024, 2, "bfs", 1) == 0.0
+        assert parallel_traffic(alg, 1024, 1024, 1024, 0, "bfs", 4) == 0.0
+        assert parallel_traffic(None, 1024, 1024, 1024, 2, "bfs", 4) == 0.0
+
+    def test_bfs_traffic_follows_section_4_2_factor(self):
+        from repro.core.cost import parallel_traffic
+
+        alg = get_algorithm("strassen")  # R/(MN) = 7/4 per level
+        one = parallel_traffic(alg, 1024, 1024, 1024, 1, "bfs", 4)
+        assert one == pytest.approx(2.0 * (7 / 4) * 1024 * 1024)
+        two = parallel_traffic(alg, 1024, 1024, 1024, 2, "bfs", 4)
+        assert two == pytest.approx(one + 2.0 * (7 / 4) ** 2 * 1024 * 1024)
+
+    def test_subgroup_traffic_ranks_pprime(self):
+        from repro.core.cost import parallel_traffic
+
+        alg = get_algorithm("strassen")  # 7 leaves at 1 step: rem = 3 at P=4
+        costs = {
+            sub: parallel_traffic(alg, 1024, 1024, 1024, 1,
+                                  "hybrid-subgroup", 4, subgroup=sub)
+            for sub in (1, 2)
+        }
+        bfs = parallel_traffic(alg, 1024, 1024, 1024, 1, "bfs", 4)
+        # every P' pays the BFS pools plus a positive inter-group term,
+        # and different P' get *different* costs -- the ranking the sweep
+        # relies on is real, not a tie broken by string sort
+        assert all(c > bfs for c in costs.values())
+        assert costs[1] != costs[2]
+
+    def test_plan_cost_charges_communication(self):
+        alg = get_algorithm("strassen")
+        seq = plan_cost(alg, 1024, 1024, 1024, 2)
+        par = plan_cost(alg, 1024, 1024, 1024, 2, scheme="bfs", threads=4)
+        assert par > seq
 
 
 class TestEnumeration:
@@ -90,6 +158,42 @@ class TestEnumeration:
         plans = tuner.enumerate_plans(1024, 1024, 1024, threads=4)
         schemes = {pl.scheme for pl in plans if not pl.is_dgemm}
         assert {"dfs", "bfs", "hybrid"} <= schemes
+
+    def test_all_four_schemes_enumerated(self):
+        """Regression: the parallel space used to slice ``SCHEMES[:3]``,
+        silently dropping hybrid-subgroup from every shortlist.  All four
+        schemes must appear; ranking, not slicing, decides their order."""
+        from repro.parallel.schedules import SCHEMES
+
+        plans = tuner.enumerate_plans(1024, 1024, 1024, threads=4)
+        schemes = {pl.scheme for pl in plans if not pl.is_dgemm}
+        assert schemes == set(SCHEMES)
+
+    def test_hybrid_subgroup_sweeps_pprime_divisors(self):
+        """The P' sub-space: one candidate per proper divisor of the
+        thread count, per (algorithm, steps) pair."""
+        from repro.tuner.space import subgroup_candidates
+
+        assert subgroup_candidates(4) == [1, 2]
+        assert subgroup_candidates(6) == [1, 2, 3]
+        assert subgroup_candidates(5) == [1]
+        assert subgroup_candidates(1) == []
+        plans = tuner.enumerate_plans(1024, 1024, 1024, threads=6)
+        swept = {pl.subgroup for pl in plans
+                 if pl.scheme == "hybrid-subgroup"}
+        assert swept == {1, 2, 3}
+        by_alg_steps = {(pl.algorithm, pl.steps) for pl in plans
+                        if pl.scheme == "hybrid-subgroup"}
+        for key in by_alg_steps:
+            subs = [pl.subgroup for pl in plans
+                    if pl.scheme == "hybrid-subgroup"
+                    and (pl.algorithm, pl.steps) == key]
+            assert sorted(subs) == [1, 2, 3]
+
+    def test_sequential_space_has_no_subgroup_plans(self):
+        for pl in tuner.enumerate_plans(1024, 1024, 1024, threads=1):
+            assert pl.subgroup is None
+            assert pl.scheme in ("sequential",) or pl.is_dgemm
 
     def test_all_plans_resolve_and_describe(self):
         for pl in tuner.enumerate_plans(1024, 416, 1024):

@@ -14,6 +14,7 @@ Hypothesis drives three families of invariants the hand-picked cases in
   for the dtype-specific candidate space).
 """
 
+import json
 import math
 import tempfile
 from pathlib import Path
@@ -26,8 +27,8 @@ from hypothesis import strategies as st
 from repro import tuner
 from repro.algorithms import get_algorithm
 from repro.core.stability import error_bound
-from repro.tuner.cache import PlanCache
-from repro.tuner.space import PLAN_SCHEMES, Plan
+from repro.tuner.cache import COMPAT_SCHEMAS, SCHEMA_VERSION, PlanCache
+from repro.tuner.space import PLAN_SCHEMES, Plan, subgroup_candidates
 
 #: catalog names safe to execute at small sizes in property tests
 ALGORITHMS = ["strassen", "winograd", "s234", "s333", "hk223"]
@@ -46,6 +47,24 @@ plans = st.builds(
     threads=threads_st,
     min_leaf=st.sampled_from([32, 64, 128]),
 )
+
+
+@st.composite
+def subgroup_plans(draw):
+    """Valid hybrid-subgroup plans: P' drawn from the divisors of the
+    (composite) thread count, or ``None`` for the execution-time default."""
+    threads = draw(st.sampled_from([2, 4, 6, 8, 12, 16]))
+    sub = draw(st.sampled_from([None] + subgroup_candidates(threads)))
+    return Plan(
+        algorithm=draw(st.sampled_from(ALGORITHMS)),
+        steps=draw(st.integers(min_value=1, max_value=3)),
+        scheme="hybrid-subgroup",
+        strategy=draw(st.sampled_from(["pairwise", "write_once",
+                                       "streaming"])),
+        threads=threads,
+        min_leaf=draw(st.sampled_from([32, 64, 128])),
+        subgroup=sub,
+    )
 
 
 def _log_dist(a, b):
@@ -83,6 +102,151 @@ class TestCacheRoundtrip:
             assert reader.get(m, k, n, "float64", 1) is None
             assert reader.nearest(m, k, n, "float64", 1) is None
             assert reader.stale_keys()  # visible to invalidation, though
+
+
+class TestSchemaV5Migration:
+    """The v4 -> v5 migration path and the new entry fields."""
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(m=dims, k=dims, n=dims, threads=threads_st,
+           plan=subgroup_plans(),
+           seconds=st.floats(min_value=1e-6, max_value=1e3))
+    def test_pprime_round_trip(self, tmp_path, m, k, n, threads, plan,
+                               seconds):
+        """Any P'-carrying plan survives a save/load cycle bit-identically,
+        and the entry records scheme + P' as explicit fields."""
+        path = tmp_path / "plans.json"
+        cache = PlanCache(path)
+        cache.put(m, k, n, "float64", threads, plan, seconds=seconds)
+        assert cache.save()
+        fresh = PlanCache(path)
+        assert fresh.get(m, k, n, "float64", threads) == plan
+        ent = fresh.entry(m, k, n, "float64", threads)
+        assert ent["scheme"] == plan.scheme
+        assert ent["subgroup"] == plan.subgroup
+        assert ent["plan"]["subgroup"] == plan.subgroup
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(m=dims, k=dims, n=dims, plan=plans,
+           schema=st.sampled_from(COMPAT_SCHEMAS))
+    def test_v4_files_load_as_stale_schema(self, tmp_path, m, k, n, plan,
+                                           schema):
+        """A pre-v5 cache file loads without error; its entries are
+        visible (show/invalidate) but treated as stale-schema: no lookup
+        ever serves them, exactly like a foreign fingerprint."""
+        path = tmp_path / "plans.json"
+        writer = PlanCache(path)  # this machine's fingerprint...
+        writer.put(m, k, n, "float64", 1, plan)
+        writer.save()
+        raw = json.loads(path.read_text())
+        raw["schema"] = schema  # ...but an old schema stamp
+        for ent in raw["entries"].values():
+            ent.pop("scheme", None)
+            ent.pop("subgroup", None)
+        path.write_text(json.dumps(raw))
+
+        reader = PlanCache(path)
+        assert len(reader) == 1                 # loaded, not dropped
+        assert reader.get(m, k, n, "float64", 1) is None
+        assert reader.nearest(m, k, n, "float64", 1) is None
+        assert len(reader.stale_keys()) == 1    # ...and flagged
+        # invalidation clears them; the rewritten file is v5
+        assert reader.invalidate(stale_only=True)
+        assert reader.save()
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+        assert len(PlanCache(path)) == 0
+
+    def test_unknown_future_schema_still_starts_fresh(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION + 1,
+                                    "entries": {"1x1x1:float64:1t": {}}}))
+        assert len(PlanCache(path)) == 0
+
+
+class TestCrossThreadNearest:
+    shapes = st.tuples(
+        st.integers(min_value=64, max_value=2048),
+        st.integers(min_value=64, max_value=2048),
+        st.integers(min_value=64, max_value=2048),
+    )
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(query=shapes, exact=shapes, cross=st.lists(shapes, min_size=1,
+                                                      max_size=4),
+           cross_threads=st.sampled_from([1, 2, 8, 16]))
+    def test_exact_thread_hit_always_beats_transfer(self, tmp_path, query,
+                                                    exact, cross,
+                                                    cross_threads):
+        """However close (even bit-identical in shape) an entry from
+        another thread count is, its scaled cost never beats an
+        exact-thread hit within the radius."""
+        threads = 4
+        cache = PlanCache(tmp_path / "plans.json")
+        exact_plan = Plan(algorithm="winograd", steps=2, scheme="hybrid",
+                          threads=threads)
+        cache.put(*exact, "float64", threads, exact_plan)
+        for i, shp in enumerate(cross):
+            cache.put(*shp, "float64", cross_threads,
+                      Plan(algorithm="strassen", steps=1 + i % 3,
+                           scheme="bfs", threads=cross_threads))
+        got = cache.nearest(*query, "float64", threads)
+        if self._dist(exact, query) <= 1.0:
+            assert got == exact_plan
+        elif got is not None:
+            # only a transfer can answer -- and it must be retargeted
+            assert got.threads == threads
+
+    @staticmethod
+    def _dist(a, b):
+        return math.sqrt(sum(math.log(x / y) ** 2 for x, y in zip(a, b)))
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(query=shapes, entry=shapes,
+           entry_threads=st.sampled_from([1, 2, 3, 8, 16]),
+           query_threads=st.sampled_from([1, 2, 4, 6]),
+           plan=subgroup_plans())
+    def test_transfer_plans_are_always_valid(self, tmp_path, query, entry,
+                                             entry_threads, query_threads,
+                                             plan):
+        """Whatever P' the source entry carries, a cross-thread transfer
+        comes back executable at the queried thread count: Plan validation
+        (P' | threads) passes by construction."""
+        cache = PlanCache(tmp_path / "plans.json")
+        plan = tuner.retarget_plan(plan, entry_threads)
+        cache.put(*entry, "float64", entry_threads, plan)
+        got = cache.nearest(*query, "float64", query_threads)
+        if got is not None:
+            assert got.threads == query_threads
+            if got.subgroup is not None:
+                assert query_threads % got.subgroup == 0
+            assert got.algorithm == plan.algorithm
+            assert got.steps == plan.steps
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(query=shapes, entry=shapes,
+           entry_threads=st.sampled_from([2, 8]))
+    def test_transfer_pays_a_distance_penalty(self, tmp_path, query, entry,
+                                              entry_threads):
+        """The cross-thread fallback is strictly more conservative than
+        the same-thread one: any shape that misses at the entry's own
+        thread count also misses across thread counts."""
+        cache = PlanCache(tmp_path / "plans.json")
+        cache.put(*entry, "float64", entry_threads,
+                  Plan(algorithm="strassen", steps=1, scheme="dfs",
+                       threads=entry_threads))
+        same = cache.nearest(*query, "float64", entry_threads)
+        crossed = cache.nearest(*query, "float64", 4)
+        if same is None:
+            assert crossed is None
+        # and a transfer within range is the same knowledge, retargeted
+        if crossed is not None:
+            assert crossed.algorithm == "strassen"
+            assert crossed.threads == 4
 
 
 class TestNearestMonotonicity:

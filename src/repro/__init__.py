@@ -115,8 +115,8 @@ def matmul(A: np.ndarray, B: np.ndarray, **kwargs) -> np.ndarray:
 def __getattr__(name: str):
     """Lazy subpackage access (PEP 562): ``repro.linalg`` pulls in SciPy
     and ``repro.distributed``/``repro.search``/``repro.tuner``/``repro.cli``
-    are niche, so none of them should tax ``import repro``."""
-    if name in ("linalg", "distributed", "search", "cli", "tuner"):
+    /``repro.obs`` are niche, so none of them should tax ``import repro``."""
+    if name in ("linalg", "distributed", "search", "cli", "tuner", "obs"):
         import importlib
 
         return importlib.import_module(f"repro.{name}")

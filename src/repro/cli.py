@@ -22,7 +22,12 @@ Subcommands map onto the library's main entry points:
 - ``codegen``   — print the generated Python (or C) source for an
   algorithm/strategy/CSE combination;
 - ``search``    — run the §2.3 ALS search (delegates to
-  ``repro.search.driver``).
+  ``repro.search.driver``);
+- ``stats``     — report the unified telemetry registry (``repro.obs``):
+  dispatch plan sources, cache hit ratio, arena health, per-scheme span
+  totals; ``--format json|prom`` for machines, ``--reset`` to clear.
+  Reads the live in-process registry when it has data, else the snapshot
+  file a ``repro multiply --auto`` run saved.
 
 Each subcommand is also importable as a function for tests
 (``cmd_list``, ``cmd_verify``, ...); they return process exit codes.
@@ -71,7 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="pin the vendor BLAS thread count for both sides")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--auto", action="store_true",
-                   help="let the tuner pick the plan (ignores --algorithm)")
+                   help="let the tuner pick the plan (ignores --algorithm); "
+                        "runs with telemetry on and saves an obs snapshot "
+                        "for a later `repro stats`")
+    p.add_argument("--explain", action="store_true",
+                   help="print the full dispatch decision trace (ranked "
+                        "shortlist, chosen plan + source, arena footprint) "
+                        "for one call; implies --auto")
     p.add_argument("--cache", default=None,
                    help="plan-cache file for --auto (default: "
                         "$REPRO_PLAN_CACHE or ~/.cache/repro)")
@@ -137,6 +148,21 @@ def _build_parser() -> argparse.ArgumentParser:
                                       "(see repro.search.driver)")
     p.add_argument("rest", nargs=argparse.REMAINDER,
                    help="arguments forwarded to repro.search.driver")
+
+    p = sub.add_parser("stats", help="report the repro.obs telemetry "
+                                     "registry (dispatch sources, arena "
+                                     "health, span totals)")
+    p.add_argument("--format", default="human",
+                   choices=["human", "json", "prom"],
+                   help="human summary (default), raw JSON snapshot, or "
+                        "Prometheus text exposition")
+    p.add_argument("--reset", action="store_true",
+                   help="clear the registry (and the snapshot file, when "
+                        "that is what was reported) after reporting")
+    p.add_argument("--snapshot", default=None,
+                   help="snapshot file to fall back to when the live "
+                        "registry is empty (default: $REPRO_OBS_SNAPSHOT "
+                        "or ~/.cache/repro/obs_snapshot.json)")
     return ap
 
 
@@ -204,18 +230,28 @@ def cmd_multiply(args, out=sys.stdout) -> int:
     A = rng.standard_normal((p, q))
     B = rng.standard_normal((q, r))
 
-    if args.auto:
+    if args.explain:
         from repro import tuner
 
+        cache = tuner.PlanCache(args.cache) if args.cache else None
+        return _explain(args, A, B, p, q, r, cache, out)
+
+    if args.auto:
+        from repro import obs, tuner
+
+        # --auto runs observed: the dispatch records/counters the run
+        # leaves behind are what a follow-up `repro stats` reports
+        obs.enable()
         cache = tuner.PlanCache(args.cache) if args.cache else None
         plan, source = tuner.get_plan(
             p, q, r, dtype=np.result_type(A, B).name,
             threads=args.threads, cache=cache,
         )
-        # same arena-backed path dispatch serves, so the printed numbers
-        # describe what repro.matmul would actually do for this shape
-        ws = tuner.workspace_for(plan, p, q, r, A.dtype, B.dtype)
-        fast = lambda: tuner.execute_plan(plan, A, B, workspace=ws)  # noqa: E731
+        # dispatch through the real entry point (plan lookup, arena,
+        # pool and telemetry all included), so the printed numbers
+        # describe what repro.matmul actually does for this shape
+        fast = lambda: tuner.matmul(  # noqa: E731
+            A, B, threads=args.threads, cache=cache)
         label = f"auto: {plan.describe()} [{source}]"
     elif args.native:
         from repro.codegen import cbackend
@@ -251,7 +287,161 @@ def cmd_multiply(args, out=sys.stdout) -> int:
     print(f"{label:>24}: {t_fast:8.4f}s "
           f"{effective_gflops(p, q, r, t_fast):8.2f} eff.GFLOPS "
           f"(speedup {t_blas / t_fast:5.2f}x, rel.err {err:.1e})", file=out)
+    if args.auto:
+        from repro import obs
+
+        path = obs.save_snapshot()
+        if path is not None:
+            print(f"telemetry snapshot: {path} (inspect with "
+                  f"`python -m repro stats`)", file=out)
     return 0
+
+
+def _explain(args, A, B, p: int, q: int, r: int, cache, out) -> int:
+    """``repro multiply --explain``: the full decision trace of one call.
+
+    Everything dispatch decides silently, spelled out: the cost-ranked
+    candidate shortlist with model scores, the resolved plan and where it
+    came from (cache / nearest / transfer / model), the arena that will
+    serve it, then one observed call with its dispatch record and span
+    timings.
+    """
+    from repro import obs, tuner
+    from repro.algorithms import get_algorithm
+    from repro.core.cost import plan_cost
+    from repro.parallel import available_cores
+
+    obs.enable()
+    threads = args.threads or available_cores()
+    dtype = np.result_type(A, B).name
+    print(f"== decision trace: {p}x{q}x{r} {dtype}, {threads} threads ==",
+          file=out)
+
+    plans = tuner.enumerate_plans(p, q, r, threads=threads, dtype=dtype,
+                                  max_candidates=8)
+    print("cost-ranked shortlist (analytical model):", file=out)
+    for i, pl in enumerate(plans, 1):
+        alg = None if pl.is_dgemm else get_algorithm(pl.algorithm)
+        cost = plan_cost(alg, p, q, r, pl.steps, scheme=pl.scheme,
+                         threads=pl.threads, subgroup=pl.subgroup)
+        print(f"  #{i} {pl.describe():<40} cost {cost:.4g}", file=out)
+
+    plan, source = tuner.get_plan(p, q, r, dtype=dtype, threads=threads,
+                                  cache=cache)
+    print(f"chosen plan: {plan.describe()}  [source: {source}]", file=out)
+    ws = tuner.workspace_for(plan, p, q, r, A.dtype, B.dtype)
+    if ws is None:
+        print("arena footprint: none (plain BLAS needs no workspace)",
+              file=out)
+    else:
+        print(f"arena footprint: {ws.nbytes:,} bytes", file=out)
+
+    C = tuner.matmul(A, B, threads=threads, cache=cache)
+    err = float(np.linalg.norm(C - A @ B) / np.linalg.norm(A @ B))
+    records = obs.dispatch_records()
+    if records:
+        rec = records[-1]
+        print(f"observed call: {rec['seconds']:.4f}s "
+              f"{rec['gflops']:.2f} eff.GFLOPS "
+              f"(scheme {rec['scheme']}, rel.err {err:.1e})", file=out)
+        if "arena_high_water" in rec:
+            print(f"arena high water: {rec['arena_high_water']:,} bytes, "
+                  f"overflows: {rec['arena_overflows']}", file=out)
+    for row in obs.snapshot()["spans"]:
+        if row["name"].startswith(("dispatch.", "parallel.")):
+            print(f"  span {row['name']:<28} x{row['count']:<3} "
+                  f"total {row['total_s']:.4f}s", file=out)
+    return 0
+
+
+def cmd_stats(args, out=sys.stdout) -> int:
+    import json
+
+    from repro import obs
+
+    snap = obs.snapshot()
+    live = not obs.is_empty(snap)
+    origin = "live registry"
+    snap_path = None
+    if not live:
+        # a previous `repro multiply --auto` (another process) saved one
+        loaded = obs.load_snapshot(args.snapshot)
+        if loaded is not None:
+            snap = loaded
+            snap_path = (args.snapshot if args.snapshot
+                         else obs.default_snapshot_path())
+            origin = f"snapshot file {snap_path}"
+
+    if args.format == "json":
+        json.dump(snap, out, indent=2, sort_keys=True)
+        print(file=out)
+    elif args.format == "prom":
+        out.write(obs.prometheus_text(snap))
+    else:
+        _render_stats(snap, origin, out)
+
+    if args.reset:
+        # clear both stores: a surviving snapshot file would silently
+        # resurface as stale data on the next `repro stats`
+        obs.reset()
+        for path in (args.snapshot, obs.default_snapshot_path()):
+            if path is not None:
+                try:
+                    import os
+
+                    os.unlink(path)
+                except OSError:
+                    pass
+    return 0
+
+
+def _render_stats(snap: dict, origin: str, out) -> None:
+    from repro import obs
+
+    summary = obs.summarize(snap)
+    if obs.is_empty(snap):
+        print("telemetry: no data (enable with REPRO_OBS=1 or run "
+              "`repro multiply --auto`)", file=out)
+        return
+    print(f"telemetry ({origin})", file=out)
+    print(f"dispatch: {summary['calls']} call(s)", file=out)
+    if summary["sources"]:
+        mix = "  ".join(f"{src}={n}" for src, n
+                        in sorted(summary["sources"].items()))
+        ratio = summary["cache_hit_ratio"]
+        hit = f"{ratio:.0%}" if ratio is not None else "n/a"
+        print(f"  plan sources: {mix}  (cache hit ratio: {hit})", file=out)
+    if summary["policy"]:
+        mix = "  ".join(f"{kind}={n}" for kind, n
+                        in sorted(summary["policy"].items()))
+        print(f"  policy choices: {mix}", file=out)
+    ws = summary["workspace"]
+    if ws["arena_bytes"] is not None:
+        print(f"workspace: arena {int(ws['arena_bytes']):,} bytes, "
+              f"high water {int(ws['high_water'] or 0):,}, "
+              f"overflows {ws['overflows']}", file=out)
+    else:
+        print(f"workspace: overflows {ws['overflows']}", file=out)
+    if summary["span_totals"]:
+        print("span totals (by total time):", file=out)
+        for row in summary["span_totals"][:12]:
+            labels = "".join(f" {k}={v}" for k, v
+                             in sorted(row["labels"].items()))
+            print(f"  {row['name']:<28}{labels} x{row['count']:<4} "
+                  f"total {row['total_s']:.4f}s", file=out)
+    extras = [g for g in summary["gauges"]
+              if g["name"].startswith(("transfer.", "policy."))]
+    if extras:
+        print("gauges:", file=out)
+        for g in extras[:12]:
+            labels = "".join(f" {k}={v}" for k, v
+                             in sorted(g["labels"].items()))
+            print(f"  {g['name']}{labels} = {g['value']:.4g}", file=out)
+    if summary["records"]:
+        rec = summary["records"][-1]
+        print(f"last dispatch: {rec['shape'][0]}x{rec['shape'][1]}"
+              f"x{rec['shape'][2]} {rec['dtype']} -> {rec['plan']} "
+              f"[{rec['source']}] {rec['seconds']:.4f}s", file=out)
 
 
 def _parse_shape(text: str) -> tuple[int, int, int]:
@@ -456,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cmd_cache,
         "codegen": cmd_codegen,
         "search": cmd_search,
+        "stats": cmd_stats,
     }[args.command]
     try:
         return handler(args)

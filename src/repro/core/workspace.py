@@ -109,6 +109,8 @@ class Workspace:
         self._top = 0
         self.high_water = 0
         self.overflow_allocations = 0
+        self.mark_depth = 0
+        self.max_mark_depth = 0
 
     @property
     def nbytes(self) -> int:
@@ -118,12 +120,30 @@ class Workspace:
     def reset(self) -> None:
         """Rewind the bump pointer; every prior view becomes reusable."""
         self._top = 0
+        self.mark_depth = 0
 
     def mark(self) -> int:
+        self.mark_depth += 1
+        if self.mark_depth > self.max_mark_depth:
+            self.max_mark_depth = self.mark_depth
         return self._top
 
     def release(self, mark: int) -> None:
         self._top = mark
+        if self.mark_depth > 0:
+            self.mark_depth -= 1
+
+    def stats(self) -> dict:
+        """Arena health as one JSON-ready dict -- what the dispatch layer's
+        telemetry gauges publish per call: capacity, peak bytes actually
+        carved, current/deepest mark nesting, and heap-overflow count."""
+        return {
+            "nbytes": self.nbytes,
+            "high_water": self.high_water,
+            "mark_depth": self.mark_depth,
+            "max_mark_depth": self.max_mark_depth,
+            "overflow_allocations": self.overflow_allocations,
+        }
 
     # ------------------------------------------------------------- hand-out
     def _carve(self, nbytes: int) -> np.ndarray | None:

@@ -48,6 +48,7 @@ from repro.core.workspace import (
     needs_scratch,
     scratch_view,
 )
+from repro.obs import telemetry
 from repro.parallel import blas
 from repro.parallel.gemm import dgemm
 from repro.parallel.pool import (
@@ -59,6 +60,17 @@ from repro.util.matrices import block_views, peel_split
 from repro.util.validation import check_matmul_dims, require_2d
 
 SCHEMES = ("dfs", "bfs", "hybrid", "hybrid-subgroup")
+
+
+def _label_tasks(pool: WorkerPool, text: str) -> None:
+    """Tag tasks submitted after this point with a phase label, when the
+    pool records labels at all (duck-typed: ``TracedPool.label``).  The
+    label lands on every ``TaskEvent`` of the phase, which the telemetry
+    registry aggregates as a ``task.<label>`` span -- so per-scheme,
+    per-phase task totals come out of the same stream the trace holds."""
+    set_label = getattr(pool, "label", None)
+    if set_label is not None:
+        set_label(text)
 
 
 def default_subgroup(threads: int) -> int:
@@ -419,13 +431,19 @@ def _run_bfs(
         ws.reset()
         uv_scratch = needs_scratch(root.alg.U) or needs_scratch(root.alg.V)
         w_scratch = needs_scratch(root.alg.W)
-    tree = _expand_tree(root, steps, pool, ws, uv_scratch)
+    with telemetry.span("parallel.bfs.expand"):
+        _label_tasks(pool, "bfs.expand")
+        tree = _expand_tree(root, steps, pool, ws, uv_scratch)
     leaves = _bfs_leaves(tree)
     if ws is not None:
         _assign_leaf_buffers(leaves, ws)
-    with blas.blas_threads(1):  # one BLAS thread per task: pure task parallelism
-        pool.map_wait(lambda nd: nd.leaf_multiply(), leaves)
-    _combine_tree(tree, pool, ws, w_scratch)
+    with telemetry.span("parallel.bfs.leaf"):
+        _label_tasks(pool, "bfs.leaf")
+        with blas.blas_threads(1):  # one BLAS thread per task: pure task parallelism
+            pool.map_wait(lambda nd: nd.leaf_multiply(), leaves)
+    with telemetry.span("parallel.bfs.combine"):
+        _label_tasks(pool, "bfs.combine")
+        _combine_tree(tree, pool, ws, w_scratch)
     return root.result
 
 
@@ -442,7 +460,9 @@ def _run_hybrid(
         ws.reset()
         uv_scratch = needs_scratch(root.alg.U) or needs_scratch(root.alg.V)
         w_scratch = needs_scratch(root.alg.W)
-    tree = _expand_tree(root, steps, pool, ws, uv_scratch)
+    with telemetry.span("parallel.hybrid.expand"):
+        _label_tasks(pool, "hybrid.expand")
+        tree = _expand_tree(root, steps, pool, ws, uv_scratch)
     leaves = _bfs_leaves(tree)
     if ws is not None:
         _assign_leaf_buffers(leaves, ws)
@@ -450,25 +470,32 @@ def _run_hybrid(
     bfs_part, dfs_part = leaves[:n_bfs], leaves[n_bfs:]
     # 1) perfectly balanced BFS batch
     if bfs_part:
-        with blas.blas_threads(1):
-            pool.map_wait(lambda nd: nd.leaf_multiply(), bfs_part)
+        with telemetry.span("parallel.hybrid.bfs_batch"):
+            _label_tasks(pool, "hybrid.bfs_batch")
+            with blas.blas_threads(1):
+                pool.map_wait(lambda nd: nd.leaf_multiply(), bfs_part)
     # 2) remainder after an explicit barrier (paper's lock scheme): DFS
     if dfs_part:
-        if subgroup is None:
-            with blas.blas_threads(threads):
-                for nd in dfs_part:
-                    nd.leaf_multiply()
-        else:
-            # Section 4.3 alternative: disjoint groups of P' threads
-            if threads % subgroup:
-                raise ValueError("subgroup size must divide thread count")
-            waves = threads // subgroup
-            with blas.blas_threads(subgroup):
-                for i in range(0, len(dfs_part), waves):
-                    pool.map_wait(
-                        lambda nd: nd.leaf_multiply(), dfs_part[i : i + waves]
-                    )
-    _combine_tree(tree, pool, ws, w_scratch)
+        with telemetry.span("parallel.hybrid.remainder"):
+            _label_tasks(pool, "hybrid.remainder")
+            if subgroup is None:
+                with blas.blas_threads(threads):
+                    for nd in dfs_part:
+                        nd.leaf_multiply()
+            else:
+                # Section 4.3 alternative: disjoint groups of P' threads
+                if threads % subgroup:
+                    raise ValueError("subgroup size must divide thread count")
+                waves = threads // subgroup
+                with blas.blas_threads(subgroup):
+                    for i in range(0, len(dfs_part), waves):
+                        pool.map_wait(
+                            lambda nd: nd.leaf_multiply(),
+                            dfs_part[i : i + waves]
+                        )
+    with telemetry.span("parallel.hybrid.combine"):
+        _label_tasks(pool, "hybrid.combine")
+        _combine_tree(tree, pool, ws, w_scratch)
     return root.result
 
 
@@ -527,15 +554,18 @@ def multiply_parallel(
                 f"got {sg}"
             )
     try:
-        if scheme == "dfs":
-            if workspace is not None:
-                workspace.reset()
-            return _dfs_recurse(A, B, algorithm, steps, pool, P,
-                                out=out, ws=workspace)
-        root = _Node(A, B, 0, algorithm, result_buf=out)
-        if scheme == "bfs":
-            return _run_bfs(root, steps, pool, ws=workspace)
-        return _run_hybrid(root, steps, pool, P, subgroup=sg, ws=workspace)
+        with telemetry.span("parallel." + scheme, threads=P):
+            if scheme == "dfs":
+                if workspace is not None:
+                    workspace.reset()
+                _label_tasks(pool, "dfs")
+                return _dfs_recurse(A, B, algorithm, steps, pool, P,
+                                    out=out, ws=workspace)
+            root = _Node(A, B, 0, algorithm, result_buf=out)
+            if scheme == "bfs":
+                return _run_bfs(root, steps, pool, ws=workspace)
+            return _run_hybrid(root, steps, pool, P, subgroup=sg,
+                               ws=workspace)
     finally:
         if owns_pool:
             pool.shutdown()

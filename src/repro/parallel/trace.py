@@ -6,15 +6,22 @@ spawns 7 leaf tasks, so with P=2 one worker draws 4 leaves and the other 3
 P by construction.  ``TracedPool`` records a (worker, start, stop, label)
 event per task so benchmarks and tests can compute per-worker busy time
 and the imbalance ratio directly instead of inferring it from totals.
+
+Timestamps come from the shared telemetry clock
+(:func:`repro.obs.telemetry.clock`), and every captured event is also
+forwarded to :func:`repro.obs.telemetry.record_task` -- this module is a
+*consumer* of the same event stream the unified telemetry registry
+aggregates, so a trace's per-task timings and ``repro stats``' per-label
+span totals are two views of identical data, on one time base.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
-import time
 from typing import Callable
 
+from repro.obs import telemetry
 from repro.parallel.pool import WorkerPool
 
 
@@ -38,15 +45,22 @@ class Trace:
         self.events.clear()
 
     def per_worker_busy(self) -> dict[str, float]:
+        """Total busy seconds per worker; ``{}`` for an empty trace."""
         busy: dict[str, float] = {}
         for ev in self.events:
             busy[ev.worker] = busy.get(ev.worker, 0.0) + ev.duration
         return busy
 
     def imbalance(self) -> float:
-        """max worker busy time / mean worker busy time (1.0 = perfect)."""
+        """max worker busy time / mean worker busy time (1.0 = perfect).
+
+        Degenerate traces answer 1.0 rather than raising: an empty trace
+        (no workers to be imbalanced across), a single worker (max equals
+        mean by construction), and all-zero durations (instantaneous
+        tasks would otherwise divide by a zero mean).
+        """
         busy = list(self.per_worker_busy().values())
-        if not busy:
+        if len(busy) < 2:
             return 1.0
         mean = sum(busy) / len(busy)
         return max(busy) / mean if mean > 0 else 1.0
@@ -87,13 +101,17 @@ class TracedPool(WorkerPool):
         label = self._current_label()
 
         def wrapped(*a, **kw):
-            t0 = time.perf_counter()
+            t0 = telemetry.clock()
             try:
                 return fn(*a, **kw)
             finally:
-                t1 = time.perf_counter()
-                ev = TaskEvent(threading.current_thread().name, label, t0, t1)
+                t1 = telemetry.clock()
+                worker = threading.current_thread().name
+                ev = TaskEvent(worker, label, t0, t1)
                 with self._lock:
                     self.trace.events.append(ev)
+                # same event, second consumer: the unified registry (no-op
+                # unless telemetry is enabled)
+                telemetry.record_task(worker, label, t0, t1)
 
         return super().submit(wrapped, *args, **kwargs)

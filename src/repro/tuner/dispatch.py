@@ -35,14 +35,17 @@ losing candidates never evict the serving set.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.algorithms import get_algorithm
+from repro.bench.metrics import effective_gflops
 from repro.codegen import compile_algorithm
 from repro.core.workspace import Workspace, check_out
+from repro.obs import telemetry
 from repro.parallel import blas
 from repro.parallel.pool import WorkerPool, available_cores
 from repro.parallel.schedules import multiply_parallel
@@ -70,8 +73,15 @@ WORKSPACE_CACHE_SIZE = 8
 #: stays (evicting the arena of the call in flight would defeat reuse)
 WORKSPACE_CACHE_BYTES = 2 << 30
 
+_log = logging.getLogger(__name__)
+
 _default_cache: PlanCache | None = None
 _workspaces: "OrderedDict[tuple, Workspace]" = OrderedDict()
+#: (plan, p, q, r, dtype) combinations already warned about overflowing --
+#: the warning fires once per offender, the telemetry counter every time.
+#: A duplicate warning from two racing threads is benign, so membership is
+#: checked without the dispatch lock.
+_overflow_warned: set[tuple] = set()
 _pools: dict[int, WorkerPool] = {}
 #: guards _workspaces/_pools mutation -- concurrent dispatchers are a
 #: supported pattern (arenas are thread-keyed), so the bookkeeping around
@@ -96,6 +106,7 @@ def reset_workspaces() -> None:
     """Drop every cached arena (tests; to give memory back)."""
     with _dispatch_lock:
         _workspaces.clear()
+        _overflow_warned.clear()
 
 
 def shutdown_shared_pools() -> None:
@@ -256,6 +267,111 @@ def get_plan(
     return plans[0], "model"
 
 
+def _warn_overflow(plan: Plan, p: int, q: int, r: int, dtype: str,
+                   count: int) -> None:
+    """Surface a warm-path arena heap overflow (always counted, warned
+    once per (plan, shape, dtype)).
+
+    ``Workspace.overflow_allocations`` degrades gracefully by design, but
+    on the *serving* path an overflow means the arena undersizes its plan
+    and every warm call is silently paying allocator traffic -- exactly
+    the regression the zero-allocation steady state exists to prevent, so
+    it must not stay invisible.  Timed tuning calls are exempt: their
+    throwaway arenas overflowing costs nothing lasting.
+    """
+    telemetry.incr("workspace.overflows", count)
+    key = (plan, p, q, r, dtype)
+    if key not in _overflow_warned:
+        _overflow_warned.add(key)
+        _log.warning(
+            "workspace arena overflowed to the heap %d time(s) serving "
+            "%dx%dx%d %s with plan [%s]; warm calls for this shape are "
+            "allocating instead of reusing the arena",
+            count, p, q, r, dtype, plan.describe(),
+        )
+
+
+def _record_call(plan: Plan, source: str, p: int, q: int, r: int,
+                 dtype: str, threads: int, seconds: float, timed: bool,
+                 workspace: Workspace | None) -> None:
+    """Fold one dispatch call into the telemetry registry: source
+    counters, the latest effective-GFLOPS/arena gauges, and a full
+    per-call record into the introspection ring buffer."""
+    telemetry.incr("dispatch.calls")
+    telemetry.incr("dispatch.source", source=source)
+    gflops = effective_gflops(p, q, r, seconds) if seconds > 0 else 0.0
+    telemetry.set_gauge("dispatch.last_gflops", gflops)
+    telemetry.set_gauge("dispatch.last_seconds", seconds)
+    record = {
+        "shape": [p, q, r],
+        "dtype": dtype,
+        "threads": threads,
+        "source": source,
+        "plan": plan.describe(),
+        "scheme": plan.scheme,
+        "seconds": seconds,
+        "gflops": gflops,
+        "timed": timed,
+    }
+    if workspace is not None:
+        stats = workspace.stats()
+        telemetry.set_gauge("workspace.arena_bytes", stats["nbytes"])
+        telemetry.set_gauge("workspace.high_water", stats["high_water"])
+        telemetry.set_gauge("workspace.max_mark_depth",
+                            stats["max_mark_depth"])
+        record["arena_bytes"] = stats["nbytes"]
+        record["arena_high_water"] = stats["high_water"]
+        record["arena_overflows"] = stats["overflow_allocations"]
+    telemetry.record_dispatch(record)
+
+
+def _matmul_observed(
+    policy: TuningPolicy,
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    q: int,
+    r: int,
+    dtype: str,
+    threads: int,
+    cache: PlanCache,
+    pool: WorkerPool | None,
+    out: np.ndarray | None,
+) -> np.ndarray:
+    """The telemetry-enabled twin of :func:`matmul`'s dispatch tail.
+
+    Same resolution/execution logic, with the lookup and execution under
+    ``dispatch.lookup`` / ``dispatch.execute`` spans and a per-call record
+    emitted at the end.  Kept separate so the disabled hot path pays one
+    ``telemetry.enabled()`` branch and nothing else.
+    """
+    t_call = telemetry.clock_ns()
+    with telemetry.span("dispatch.lookup"):
+        plan, source = policy.select(p, q, r, dtype, threads, cache)
+    timed = policy.wants_timing(source)
+    if timed:
+        workspace = build_workspace(plan, p, q, r, A.dtype, B.dtype)
+        with telemetry.span("dispatch.execute", scheme=plan.scheme):
+            t0 = policy.clock()
+            C = execute_plan(plan, A, B, pool=pool, out=out,
+                             workspace=workspace)
+            elapsed = policy.clock() - t0
+        policy.observe(p, q, r, dtype, threads, cache, plan, elapsed)
+    else:
+        workspace = workspace_for(plan, p, q, r, A.dtype, B.dtype)
+        before = workspace.overflow_allocations if workspace else 0
+        with telemetry.span("dispatch.execute", scheme=plan.scheme):
+            C = execute_plan(plan, A, B, pool=pool, out=out,
+                             workspace=workspace)
+        if workspace is not None and workspace.overflow_allocations > before:
+            _warn_overflow(plan, p, q, r, dtype,
+                           workspace.overflow_allocations - before)
+    seconds = (telemetry.clock_ns() - t_call) * 1e-9
+    _record_call(plan, source, p, q, r, dtype, threads, seconds, timed,
+                 workspace)
+    return C
+
+
 def matmul(
     A: np.ndarray,
     B: np.ndarray,
@@ -292,6 +408,10 @@ def matmul(
     dtype = np.result_type(A, B).name
     threads = threads or available_cores()
     cache = cache if cache is not None else _shared_cache()
+    if telemetry.enabled():
+        # the one telemetry branch the disabled hot path pays
+        return _matmul_observed(policy, A, B, p, q, r, dtype, threads,
+                                cache, pool, out)
     plan, source = policy.select(p, q, r, dtype, threads, cache)
     if policy.wants_timing(source):
         # timed exploration: a throwaway arena, so losing shortlist
@@ -303,4 +423,11 @@ def matmul(
                        policy.clock() - t0)
         return C
     workspace = workspace_for(plan, p, q, r, A.dtype, B.dtype)
-    return execute_plan(plan, A, B, pool=pool, out=out, workspace=workspace)
+    before = workspace.overflow_allocations if workspace else 0
+    C = execute_plan(plan, A, B, pool=pool, out=out, workspace=workspace)
+    if workspace is not None and workspace.overflow_allocations > before:
+        # satellite bugfix: warm-path heap overflows were counted but
+        # never surfaced -- warn (and count) with or without telemetry
+        _warn_overflow(plan, p, q, r, dtype,
+                       workspace.overflow_allocations - before)
+    return C

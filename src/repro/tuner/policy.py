@@ -38,7 +38,8 @@ import time
 import zlib
 
 from repro.bench.metrics import effective_gflops
-from repro.tuner.cache import PlanCache
+from repro.obs import telemetry
+from repro.tuner.cache import PlanCache, problem_key
 from repro.tuner.space import Plan, enumerate_plans
 from repro.util.rng import default_rng
 
@@ -108,13 +109,44 @@ class AutoTunePolicy(TuningPolicy):
         if source != "trivial" and self._should_tune(source):
             from repro.tuner.measure import tune_shape
 
-            plan = tune_shape(
+            report = tune_shape(
                 p, q, r, dtype=dtype, threads=threads, cache=cache,
                 max_candidates=self.shortlist, trials=self.trials,
                 persist=self.persist,
-            ).best.plan
-            return plan, "tuned"
+            )
+            if source == "transfer" and telemetry.enabled():
+                self._record_transfer_quality(plan, report, p, q, r,
+                                              dtype, threads)
+            return report.best.plan, "tuned"
         return plan, source
+
+    def _record_transfer_quality(self, transferred: Plan, report,
+                                 p, q, r, dtype, threads) -> None:
+        """Gauge how good the cross-thread transferred plan actually was,
+        relative to the re-tuned winner at this thread count.
+
+        ``transfer.quality_ratio`` (transferred seconds / best seconds,
+        1.0 = the transfer was already optimal) is the measured evidence a
+        later PR needs to calibrate the fixed ``CROSS_THREAD_PENALTY``
+        prior from real data instead of a guess.
+        """
+        sec = next((m.seconds for m in report.measurements
+                    if m.plan == transferred), None)
+        if sec is None:
+            # the retargeted plan missed the re-tune shortlist: time it
+            # once on the sweep's own deterministic operands
+            from repro.tuner.measure import measure_plan, tuning_operands
+
+            A, B = tuning_operands(p, q, r, dtype=dtype)
+            try:
+                sec = measure_plan(transferred, A, B, trials=1).seconds
+            except Exception:  # telemetry must never break dispatch
+                return
+        best = report.best.seconds
+        if best > 0:
+            telemetry.set_gauge("transfer.quality_ratio", sec / best,
+                                key=problem_key(p, q, r, dtype, threads))
+            telemetry.incr("transfer.retuned")
 
 
 class AlwaysTunePolicy(AutoTunePolicy):
@@ -204,6 +236,8 @@ class OnlineTunePolicy(TuningPolicy):
         explore = untried and (
             not observed or st.rng.random() < self.epsilon
         )
+        telemetry.incr("policy.choice", policy=self.name,
+                       kind="explore" if explore else "exploit")
         if explore:
             # least-tried first; ties resolve to the better cost rank
             return min(untried, key=lambda i: (len(st.times[i]), i))
@@ -249,6 +283,14 @@ class OnlineTunePolicy(TuningPolicy):
             return  # a plan we didn't hand out (caller mixed policies)
         st.times[idx].append(seconds)
         st.dispatches += 1
+        if telemetry.enabled():
+            label = problem_key(p, q, r, dtype, threads)
+            pulls = st.times[idx]
+            telemetry.set_gauge("policy.arm_pulls", len(pulls),
+                                policy=self.name, key=label, arm=str(idx))
+            telemetry.set_gauge("policy.arm_mean_seconds",
+                                sum(pulls) / len(pulls),
+                                policy=self.name, key=label, arm=str(idx))
         fully_sampled = all(len(ts) >= self.min_trials for ts in st.times)
         if fully_sampled or st.dispatches >= self.max_dispatches:
             self._promote(key, cache)
@@ -325,6 +367,8 @@ class UCBTunePolicy(OnlineTunePolicy):
     def _pick(self, st: _OnlineState) -> int:
         for i, ts in enumerate(st.times):
             if not ts:  # bootstrap: every arm once, in cost-rank order
+                telemetry.incr("policy.choice", policy=self.name,
+                               kind="explore")
                 return i
         total = sum(len(ts) for ts in st.times)
         medians = [statistics.median(ts) for ts in st.times]
@@ -338,7 +382,12 @@ class UCBTunePolicy(OnlineTunePolicy):
             return reward + bonus
 
         # max by score; ties resolve to the better cost rank (lower index)
-        return max(range(len(st.times)), key=lambda i: (ucb(i), -i))
+        pick = max(range(len(st.times)), key=lambda i: (ucb(i), -i))
+        # "exploit" = the confidence bound agreed with the incumbent best;
+        # any other arm means the bonus term drove the pick
+        telemetry.incr("policy.choice", policy=self.name,
+                       kind="exploit" if medians[pick] <= t_best else "explore")
+        return pick
 
 
 #: registry of named policies (pluggable via :func:`register_policy`)

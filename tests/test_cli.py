@@ -157,3 +157,107 @@ class TestProcessLevel:
             capture_output=True, text=True, timeout=120,
         )
         assert proc.returncode != 0
+
+
+class TestStats:
+    """``repro stats``: live-registry and snapshot-file telemetry report."""
+
+    @pytest.fixture(autouse=True)
+    def clean_obs(self, tmp_path, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setenv(obs.SNAPSHOT_ENV, str(tmp_path / "snap.json"))
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def _warm_auto_run(self, tmp_path):
+        rc, text = run_cli("multiply", "--auto", "-n", "192", "--trials", "1",
+                           "--threads", "1",
+                           "--cache", str(tmp_path / "plans.json"))
+        assert rc == 0
+        return text
+
+    def test_no_data(self):
+        rc, text = run_cli("stats")
+        assert rc == 0
+        assert "no data" in text
+
+    def test_human_report_after_auto(self, tmp_path):
+        self._warm_auto_run(tmp_path)
+        rc, text = run_cli("stats")
+        assert rc == 0
+        assert "plan sources:" in text
+        assert "cache hit ratio" in text
+        assert "workspace:" in text and "overflows 0" in text
+        assert "span totals" in text
+        assert "last dispatch: 192x192x192" in text
+
+    def test_json_format_parses(self, tmp_path):
+        import json
+
+        self._warm_auto_run(tmp_path)
+        rc, text = run_cli("stats", "--format", "json")
+        assert rc == 0
+        snap = json.loads(text)
+        assert snap["schema"] == 1
+        assert any(c["name"] == "dispatch.calls" for c in snap["counters"])
+
+    def test_prom_format(self, tmp_path):
+        self._warm_auto_run(tmp_path)
+        rc, text = run_cli("stats", "--format", "prom")
+        assert rc == 0
+        assert "# TYPE repro_dispatch_calls_total counter" in text
+        assert "repro_dispatch_lookup_seconds_sum" in text
+
+    def test_snapshot_file_fallback(self, tmp_path):
+        """--auto saves a snapshot; a later process (simulated by resetting
+        the live registry) reads it back."""
+        from repro import obs
+
+        text = self._warm_auto_run(tmp_path)
+        assert "telemetry snapshot:" in text
+        obs.disable()
+        obs.reset()
+        rc, text = run_cli("stats")
+        assert rc == 0
+        assert "snapshot file" in text
+        assert "plan sources:" in text
+
+    def test_reset_clears(self, tmp_path):
+        self._warm_auto_run(tmp_path)
+        rc, _ = run_cli("stats", "--reset")
+        assert rc == 0
+        from repro import obs
+
+        obs.disable()  # --auto left telemetry on; stats must be empty now
+        rc, text = run_cli("stats")
+        assert rc == 0
+        assert "no data" in text
+
+
+class TestExplain:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro import obs
+
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_decision_trace(self, tmp_path):
+        rc, text = run_cli("multiply", "--explain", "-n", "192",
+                           "--threads", "1",
+                           "--cache", str(tmp_path / "plans.json"))
+        assert rc == 0
+        assert "decision trace: 192x192x192" in text
+        assert "cost-ranked shortlist" in text
+        assert "#1" in text
+        assert "chosen plan:" in text and "[source:" in text
+        assert "arena footprint:" in text
+        assert "observed call:" in text
+        assert "dispatch.lookup" in text

@@ -1,0 +1,382 @@
+"""Tests for the unified telemetry registry (repro.obs)."""
+
+import json
+import logging
+import threading
+
+import numpy as np
+import pytest
+from conftest import MULTICORE_THREADS
+
+from repro import obs
+from repro.core.workspace import Workspace
+from repro.obs import telemetry
+from repro.tuner import PlanCache, dispatch, matmul
+from repro.tuner.measure import Measurement, ShapeReport
+from repro.tuner.policy import OnlineTunePolicy, UCBTunePolicy
+from repro.tuner.space import Plan
+from repro.util.matrices import random_matrix
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Every test starts from (and leaves behind) a disabled, empty
+    registry -- telemetry is process-global state."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _plan_cache(tmp_path, *entries) -> PlanCache:
+    cache = PlanCache(tmp_path / "plans.json")
+    for (p, q, r, dtype, threads, plan) in entries:
+        cache.put(p, q, r, dtype, threads, plan, seconds=0.01, gflops=1.0)
+    return cache
+
+
+class TestSpans:
+    def test_nesting_visible_on_stack(self):
+        obs.enable()
+        assert obs.active_spans() == ()
+        with obs.span("outer"):
+            assert obs.active_spans() == ("outer",)
+            with obs.span("inner"):
+                assert obs.active_spans() == ("outer", "inner")
+            assert obs.active_spans() == ("outer",)
+        assert obs.active_spans() == ()
+
+    def test_aggregation(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("work"):
+                pass
+        stats = obs.span_stats("work")
+        assert stats["count"] == 3
+        assert stats["total_s"] >= stats["max_s"] >= stats["min_s"] >= 0.0
+
+    def test_labels_partition_aggregates(self):
+        obs.enable()
+        with obs.span("exec", scheme="bfs"):
+            pass
+        with obs.span("exec", scheme="dfs"):
+            pass
+        assert obs.span_stats("exec", scheme="bfs")["count"] == 1
+        assert obs.span_stats("exec", scheme="dfs")["count"] == 1
+        assert obs.span_stats("exec") is None
+
+    @pytest.mark.multicore
+    def test_thread_safety_exact_counts(self):
+        obs.enable()
+        per_thread = 200
+
+        def worker(idx: int) -> None:
+            for _ in range(per_thread):
+                with obs.span("mt"):
+                    obs.incr("mt.hits")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(MULTICORE_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = MULTICORE_THREADS * per_thread
+        assert obs.counter_value("mt.hits") == total
+        assert obs.span_stats("mt")["count"] == total
+
+
+class TestDisabledMode:
+    def test_everything_is_a_noop(self):
+        obs.incr("c")
+        obs.set_gauge("g", 1.0)
+        obs.record_dispatch({"x": 1})
+        obs.record_task("w0", "leaf", 0.0, 1.0)
+        with obs.span("s"):
+            pass
+        assert obs.is_empty()
+        assert obs.counter_value("c") == 0
+        assert obs.gauge_value("g") is None
+        assert obs.span_stats("s") is None
+        assert obs.dispatch_records() == []
+
+    def test_span_is_the_shared_null_singleton(self):
+        assert obs.span("anything") is telemetry.NULL_SPAN
+        assert obs.span("other", k="v") is telemetry.NULL_SPAN
+
+    def test_disable_preserves_data_until_reset(self):
+        obs.enable()
+        obs.incr("kept")
+        obs.disable()
+        assert obs.counter_value("kept") == 1
+        obs.reset()
+        assert obs.counter_value("kept") == 0
+
+
+class TestSnapshot:
+    def test_json_round_trip(self):
+        obs.enable()
+        obs.incr("calls", 2, source="cache")
+        obs.set_gauge("bytes", 1024.0)
+        with obs.span("lookup"):
+            pass
+        obs.record_dispatch({"shape": [1, 2, 3]})
+        snap = json.loads(json.dumps(obs.snapshot()))
+        assert snap["schema"] == telemetry.SNAPSHOT_SCHEMA
+        assert {"name": "calls", "labels": {"source": "cache"},
+                "value": 2} in snap["counters"]
+        assert snap["gauges"][0]["value"] == 1024.0
+        assert snap["spans"][0]["name"] == "lookup"
+        assert snap["dispatch_records"] == [{"shape": [1, 2, 3]}]
+
+    def test_reset_after_atomically_clears(self):
+        obs.enable()
+        obs.incr("c")
+        snap = obs.snapshot(reset_after=True)
+        assert snap["counters"]
+        assert obs.is_empty()
+
+    def test_save_load(self, tmp_path):
+        obs.enable()
+        obs.incr("c")
+        path = obs.save_snapshot(tmp_path / "snap.json")
+        assert path is not None
+        loaded = obs.load_snapshot(path)
+        assert loaded["counters"][0]["name"] == "c"
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "counters": []}))
+        assert obs.load_snapshot(path) is None
+        path.write_text("not json")
+        assert obs.load_snapshot(path) is None
+        assert obs.load_snapshot(tmp_path / "missing.json") is None
+
+    def test_snapshot_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.SNAPSHOT_ENV, str(tmp_path / "here.json"))
+        assert obs.default_snapshot_path() == tmp_path / "here.json"
+
+
+class TestPrometheus:
+    def test_counter_gauge_span_shapes(self):
+        obs.enable()
+        obs.incr("dispatch.calls", 3)
+        obs.set_gauge("workspace.arena_bytes", 4096.0)
+        with obs.span("dispatch.lookup"):
+            pass
+        text = obs.prometheus_text()
+        assert "# TYPE repro_dispatch_calls_total counter" in text
+        assert "repro_dispatch_calls_total 3" in text
+        assert "repro_workspace_arena_bytes 4096.0" in text
+        assert "repro_dispatch_lookup_seconds_count 1" in text
+        assert "repro_dispatch_lookup_seconds_sum" in text
+        assert "repro_dispatch_lookup_seconds_max" in text
+
+    def test_label_escaping(self):
+        obs.enable()
+        obs.incr("c", plan='say "hi"\nback\\slash')
+        text = obs.prometheus_text()
+        assert 'plan="say \\"hi\\"\\nback\\\\slash"' in text
+
+    def test_name_sanitization(self):
+        obs.enable()
+        obs.incr("weird.name-with/stuff")
+        assert "repro_weird_name_with_stuff_total" in obs.prometheus_text()
+
+    def test_empty_registry_renders_empty(self):
+        assert obs.prometheus_text() == ""
+
+
+class TestDispatchRing:
+    def test_eviction_keeps_newest(self):
+        obs.enable(ring_size=4)
+        for i in range(10):
+            obs.record_dispatch({"i": i})
+        assert [r["i"] for r in obs.dispatch_records()] == [6, 7, 8, 9]
+
+    def test_resize_preserves_tail(self):
+        obs.enable(ring_size=8)
+        for i in range(8):
+            obs.record_dispatch({"i": i})
+        obs.enable(ring_size=2)
+        assert [r["i"] for r in obs.dispatch_records()] == [6, 7]
+
+
+class TestDispatchIntegration:
+    def test_cached_dispatch_records_everything(self, tmp_path):
+        plan = Plan(algorithm="strassen", steps=1, scheme="dfs", threads=1)
+        cache = _plan_cache(tmp_path, (192, 192, 192, "float64", 1, plan))
+        A = random_matrix(192, 192, 0)
+        obs.enable()
+        C = matmul(A, A, threads=1, cache=cache)
+        np.testing.assert_allclose(C, A @ A, atol=1e-9)
+
+        assert obs.counter_value("dispatch.calls") == 1
+        assert obs.counter_value("dispatch.source", source="cache") == 1
+        assert obs.counter_value("workspace.overflows") == 0
+        assert obs.span_stats("dispatch.lookup")["count"] == 1
+        assert obs.span_stats("dispatch.execute", scheme="dfs")["count"] == 1
+        assert obs.gauge_value("workspace.arena_bytes") > 0
+        assert obs.gauge_value("dispatch.last_gflops") > 0
+
+        rec = obs.dispatch_records()[-1]
+        assert rec["shape"] == [192, 192, 192]
+        assert rec["source"] == "cache"
+        assert rec["scheme"] == "dfs"
+        assert rec["timed"] is False
+        assert rec["arena_overflows"] == 0
+        assert rec["seconds"] > 0
+
+    def test_disabled_dispatch_records_nothing(self, tmp_path):
+        plan = Plan(algorithm="strassen", steps=1, scheme="dfs", threads=1)
+        cache = _plan_cache(tmp_path, (192, 192, 192, "float64", 1, plan))
+        A = random_matrix(192, 192, 1)
+        matmul(A, A, threads=1, cache=cache)
+        assert obs.is_empty()
+
+
+class TestOverflowSurfacing:
+    def _overflowing_call(self, tmp_path, monkeypatch):
+        plan = Plan(algorithm="strassen", steps=1, scheme="dfs", threads=1)
+        cache = _plan_cache(tmp_path, (192, 192, 192, "float64", 1, plan))
+        tiny = Workspace(64)  # every take overflows to the heap
+        monkeypatch.setattr(dispatch, "workspace_for",
+                            lambda *a, **k: tiny)
+        dispatch.reset_workspaces()  # clears the warned-once set too
+        A = random_matrix(192, 192, 2)
+        return A, cache
+
+    def test_warns_once_per_plan_shape(self, tmp_path, monkeypatch, caplog):
+        A, cache = self._overflowing_call(tmp_path, monkeypatch)
+        with caplog.at_level(logging.WARNING, logger=dispatch.__name__):
+            matmul(A, A, threads=1, cache=cache)
+            matmul(A, A, threads=1, cache=cache)
+        hits = [r for r in caplog.records if "overflowed" in r.message]
+        assert len(hits) == 1  # once per (plan, shape), not per call
+        assert "192x192x192" in hits[0].message
+
+    def test_counter_counts_every_overflow(self, tmp_path, monkeypatch):
+        A, cache = self._overflowing_call(tmp_path, monkeypatch)
+        obs.enable()
+        matmul(A, A, threads=1, cache=cache)
+        first = obs.counter_value("workspace.overflows")
+        assert first > 0
+        matmul(A, A, threads=1, cache=cache)
+        assert obs.counter_value("workspace.overflows") > first
+
+
+class TestWorkspaceStats:
+    def test_mark_depth_tracking(self):
+        ws = Workspace(1 << 16)
+        assert ws.mark_depth == 0
+        m1 = ws.mark()
+        m2 = ws.mark()
+        assert ws.mark_depth == 2
+        ws.release(m2)
+        ws.release(m1)
+        assert ws.mark_depth == 0
+        assert ws.max_mark_depth == 2
+        ws.mark()
+        ws.reset()
+        assert ws.mark_depth == 0
+        stats = ws.stats()
+        assert stats["nbytes"] == ws.nbytes
+        assert stats["max_mark_depth"] == 2
+        assert stats["overflow_allocations"] == 0
+
+
+class _TickClock:
+    """Deterministic clock that advances a fixed step per reading, so
+    bracketed timings are positive without real wall-clock dependence."""
+
+    def __init__(self, step: float = 0.001):
+        self.t = 0.0
+        self.step = step
+
+    def now(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TestPolicyTelemetry:
+    def test_online_choice_counters_and_arm_gauges(self, tmp_path):
+        obs.enable()
+        clock = _TickClock()
+        policy = OnlineTunePolicy(shortlist=2, min_trials=1, epsilon=1.0,
+                                  seed=7, clock=clock.now, persist=False)
+        cache = _plan_cache(tmp_path)
+        A = random_matrix(192, 192, 3)
+        for _ in range(3):
+            matmul(A, A, threads=1, cache=cache, tune=policy)
+        explored = obs.counter_value("policy.choice", policy="online",
+                                     kind="explore")
+        exploited = obs.counter_value("policy.choice", policy="online",
+                                      kind="exploit")
+        assert explored + exploited >= 2
+        assert explored >= 1
+        key = "192x192x192:float64:1t"
+        pulls = obs.gauge_value("policy.arm_pulls", policy="online",
+                                key=key, arm="0")
+        assert pulls is not None and pulls >= 1
+        assert obs.gauge_value("policy.arm_mean_seconds", policy="online",
+                               key=key, arm="0") is not None
+
+    def test_ucb_bootstrap_counts_as_exploration(self, tmp_path):
+        obs.enable()
+        clock = _TickClock()
+        policy = UCBTunePolicy(shortlist=2, min_trials=1, seed=7,
+                               clock=clock.now, persist=False)
+        cache = _plan_cache(tmp_path)
+        A = random_matrix(192, 192, 4)
+        matmul(A, A, threads=1, cache=cache, tune=policy)
+        assert obs.counter_value("policy.choice", policy="ucb",
+                                 kind="explore") >= 1
+
+
+class TestTransferQuality:
+    def test_gauge_from_report_measurements(self):
+        from repro.tuner.policy import AutoTunePolicy
+
+        obs.enable()
+        transferred = Plan(algorithm="strassen", steps=1, scheme="dfs",
+                           threads=2)
+        winner = Plan(algorithm="winograd", steps=1, scheme="dfs", threads=2)
+        report = ShapeReport(
+            256, 256, 256, "float64", 2,
+            (Measurement(winner, 0.010, 3.0),
+             Measurement(transferred, 0.015, 2.0)),
+        )
+        AutoTunePolicy()._record_transfer_quality(
+            transferred, report, 256, 256, 256, "float64", 2)
+        ratio = obs.gauge_value("transfer.quality_ratio",
+                                key="256x256x256:float64:2t")
+        assert ratio == pytest.approx(1.5)
+        assert obs.counter_value("transfer.retuned") == 1
+
+    def test_transfer_dispatch_sets_gauge(self, tmp_path, monkeypatch):
+        """End to end: a cross-thread transfer under tune='auto' re-tunes
+        and records the transferred plan's quality ratio."""
+        import repro.tuner.measure as measure
+        from repro.tuner.policy import AutoTunePolicy
+
+        obs.enable()
+        # cache tuned at 2 threads only; dispatch at 1 thread must transfer
+        plan = Plan(algorithm="strassen", steps=1, scheme="dfs", threads=2)
+        cache = _plan_cache(tmp_path, (192, 192, 192, "float64", 2, plan))
+
+        retargeted = Plan(algorithm="strassen", steps=1, scheme="dfs",
+                          threads=1)
+        fake_report = ShapeReport(
+            192, 192, 192, "float64", 1,
+            (Measurement(Plan(threads=1), 0.008, 2.0),
+             Measurement(retargeted, 0.012, 1.5)),
+        )
+        monkeypatch.setattr(measure, "tune_shape",
+                            lambda *a, **k: fake_report)
+        A = random_matrix(192, 192, 5)
+        matmul(A, A, threads=1, cache=cache,
+               tune=AutoTunePolicy(persist=False))
+        ratio = obs.gauge_value("transfer.quality_ratio",
+                                key="192x192x192:float64:1t")
+        assert ratio == pytest.approx(1.5)

@@ -78,3 +78,61 @@ class TestTracedPool:
                               pool=pool)
             # 7 + 49 formation tasks, 49 leaves, 8 combines
             assert len(pool.trace.events) >= 100
+
+
+class TestDegenerateTraces:
+    def test_single_worker_imbalance_is_perfect(self):
+        t = Trace([TaskEvent("w0", "leaf", 0.0, 2.0),
+                   TaskEvent("w0", "leaf", 2.0, 5.0)])
+        assert t.imbalance() == 1.0
+
+    def test_zero_duration_tasks(self):
+        t = Trace([TaskEvent("w0", "leaf", 1.0, 1.0),
+                   TaskEvent("w1", "leaf", 2.0, 2.0)])
+        assert t.imbalance() == 1.0
+
+    def test_empty_per_worker_busy(self):
+        assert Trace().per_worker_busy() == {}
+
+
+class TestObsIntegration:
+    """TracedPool events are the same stream the telemetry registry sees."""
+
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        from repro import obs
+
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_events_feed_registry_when_enabled(self):
+        from repro import obs
+
+        obs.enable()
+        with TracedPool(2) as pool:
+            pool.label("unit")
+            pool.map_wait(lambda x: time.sleep(0.005), range(4))
+        stats = obs.span_stats("task.unit")
+        assert stats["count"] == 4
+        # the registry's per-label total matches the trace's own view
+        busy = sum(pool.trace.per_worker_busy().values())
+        assert stats["total_s"] == pytest.approx(busy, rel=1e-6)
+        # per-worker counters partition the same 4 events
+        total_events = sum(
+            c["value"] for c in obs.snapshot()["counters"]
+            if c["name"] == "task.events"
+        )
+        assert total_events == 4
+
+    def test_registry_untouched_when_disabled(self):
+        from repro import obs
+
+        with TracedPool(2) as pool:
+            pool.label("unit")
+            pool.map_wait(lambda x: x, range(4))
+        assert len(pool.trace.events) == 4  # trace still works standalone
+        assert obs.span_stats("task.unit") is None
+        assert obs.is_empty()

@@ -49,6 +49,7 @@ __all__ = [
     "classical",
     "multiply",
     "matmul",
+    "matmul_batched",
     "multiply_reference",
     "multiply_parallel",
     "multiply_schedule",
@@ -110,6 +111,23 @@ def matmul(A: np.ndarray, B: np.ndarray, **kwargs) -> np.ndarray:
     from repro import tuner
 
     return tuner.matmul(A, B, **kwargs)
+
+
+def matmul_batched(A, B, **kwargs):
+    """Multiply a whole batch of same-shape products, ``(b, p, q) @
+    (b, q, r)`` stacked arrays or lists of 2-D arrays, with one amortized
+    decision: one plan lookup, one workspace arena (or per-worker arena
+    pool) and one persistent worker pool serve every element, so a warm
+    batched call with ``out=`` is allocation-free end to end.  The batch
+    also opens a tunable axis -- fan elements across the pool
+    (``batch_mode="elementwise"``, BLAS pinned to one thread per element)
+    versus the usual within-multiply parallel schedules
+    (``batch_mode="within"``) -- cost-ranked by default and measurable
+    with ``tune="auto"``.  See :func:`repro.tuner.matmul_batched`.
+    """
+    from repro import tuner
+
+    return tuner.matmul_batched(A, B, **kwargs)
 
 
 def __getattr__(name: str):

@@ -86,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", default=None,
                    help="plan-cache file for --auto (default: "
                         "$REPRO_PLAN_CACHE or ~/.cache/repro)")
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="multiply a batch of N same-shape products through "
+                        "repro.matmul_batched (one plan/arena/pool for the "
+                        "whole batch) and compare against the stacked "
+                        "vendor BLAS; with --explain, also prints the "
+                        "batch-mode (within vs elementwise) decision")
 
     p = sub.add_parser("tune", help="tune plans for a set of shapes and "
                                     "persist them to the plan cache")
@@ -226,6 +232,10 @@ def cmd_multiply(args, out=sys.stdout) -> int:
             return 2
 
     p, q, r = args.shape if args.shape else (args.size,) * 3
+    if args.batch is not None and args.batch < 1:
+        print(f"error: --batch must be >= 1, got {args.batch}",
+              file=sys.stderr)
+        return 2
     rng = np.random.default_rng(args.seed)
     A = rng.standard_normal((p, q))
     B = rng.standard_normal((q, r))
@@ -235,6 +245,9 @@ def cmd_multiply(args, out=sys.stdout) -> int:
 
         cache = tuner.PlanCache(args.cache) if args.cache else None
         return _explain(args, A, B, p, q, r, cache, out)
+
+    if args.batch:
+        return _multiply_batched(args, p, q, r, rng, out)
 
     if args.auto:
         from repro import obs, tuner
@@ -297,6 +310,39 @@ def cmd_multiply(args, out=sys.stdout) -> int:
     return 0
 
 
+def _multiply_batched(args, p: int, q: int, r: int, rng, out) -> int:
+    """``repro multiply --batch N``: one amortized batched call vs the
+    stacked vendor BLAS (per-batch and per-element numbers)."""
+    from repro import tuner
+    from repro.bench.metrics import effective_gflops, median_time
+
+    batch = args.batch
+    cache = tuner.PlanCache(args.cache) if args.cache else None
+    A = rng.standard_normal((batch, p, q))
+    B = rng.standard_normal((batch, q, r))
+    bplan, source = tuner.get_batch_plan(
+        p, q, r, batch, dtype=np.result_type(A, B).name,
+        threads=args.threads, cache=cache,
+    )
+    C = np.empty((batch, p, r), dtype=np.result_type(A, B))
+    fast = lambda: tuner.matmul_batched(  # noqa: E731
+        A, B, out=C, threads=args.threads, cache=cache)
+    t_blas = median_time(lambda: np.matmul(A, B), trials=args.trials)
+    t_fast = median_time(fast, trials=args.trials)
+    fast()
+    ref = np.matmul(A, B)
+    err = float(np.linalg.norm(C - ref) / np.linalg.norm(ref))
+    label = f"batched: {bplan.describe()} [{source}]"
+    print(f"shape {p}x{q}x{r} x batch {batch}", file=out)
+    print(f"{'stacked vendor BLAS':>40}: {t_blas:8.4f}s "
+          f"{effective_gflops(p, q, r, t_blas / batch):8.2f} eff.GFLOPS/elem",
+          file=out)
+    print(f"{label:>40}: {t_fast:8.4f}s "
+          f"{effective_gflops(p, q, r, t_fast / batch):8.2f} eff.GFLOPS/elem "
+          f"(speedup {t_blas / t_fast:5.2f}x, rel.err {err:.1e})", file=out)
+    return 0
+
+
 def _explain(args, A, B, p: int, q: int, r: int, cache, out) -> int:
     """``repro multiply --explain``: the full decision trace of one call.
 
@@ -351,6 +397,32 @@ def _explain(args, A, B, p: int, q: int, r: int, cache, out) -> int:
         if row["name"].startswith(("dispatch.", "parallel.")):
             print(f"  span {row['name']:<28} x{row['count']:<3} "
                   f"total {row['total_s']:.4f}s", file=out)
+
+    if args.batch:
+        batch = args.batch
+        print(f"== batch decision: {batch} x {p}x{q}x{r} {dtype}, "
+              f"{threads} threads ==", file=out)
+        bplans = tuner.enumerate_batch_plans(p, q, r, batch,
+                                             threads=threads, dtype=dtype,
+                                             max_candidates=6)
+        print("batch-mode shortlist (batch_cost, per-batch):", file=out)
+        for i, bp in enumerate(bplans, 1):
+            cost = tuner.batch_plan_cost(bp, p, q, r, batch)
+            print(f"  #{i} {bp.describe():<52} cost {cost:.4g}", file=out)
+        bplan, bsource = tuner.get_batch_plan(p, q, r, batch, dtype=dtype,
+                                              threads=threads, cache=cache)
+        print(f"chosen batch plan: {bplan.describe()}  "
+              f"[source: {bsource}]", file=out)
+        print(f"amortized: one plan lookup + one "
+              f"{'per-worker arena pool' if bplan.mode == 'elementwise' else 'arena'}"
+              f" + one worker pool serve all {batch} elements", file=out)
+        As = np.stack([A] * batch)
+        Bs = np.stack([B] * batch)
+        tuner.matmul_batched(As, Bs, threads=threads, cache=cache)
+        for row in obs.snapshot()["spans"]:
+            if row["name"] == "dispatch.batch":
+                print(f"  span {row['name']:<28} x{row['count']:<3} "
+                      f"total {row['total_s']:.4f}s", file=out)
     return 0
 
 

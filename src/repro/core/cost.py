@@ -233,6 +233,67 @@ def plan_cost(
     return cost
 
 
+#: modeled per-task fan-out overhead (submission, wakeup, barrier) in
+#: gemm-equivalent flops.  Calibrated to the Section 3.4 observation that
+#: dispatch/fan-out overhead is what dominates below the dgemm ramp-up
+#: knee: ~0.1 ms of a core's time at a few GFLOP/s.
+BATCH_FANOUT_FLOPS = 5.0e5
+
+
+def batch_cost(
+    alg: FastAlgorithm | None,
+    p: int,
+    q: int,
+    r: int,
+    steps: int,
+    batch: int,
+    threads: int = 1,
+    mode: str = "within",
+    scheme: str = "sequential",
+    subgroup: int | None = None,
+    add_penalty: float = 4.0,
+) -> float:
+    """Ranking score for executing a *batch* of same-shape products.
+
+    Extends :func:`plan_cost` with the batch-parallelism axis: run the
+    pool **within** each multiply (the existing parallel schedules, one
+    element at a time) or fan the pool across **elementwise** batch
+    entries (each element sequential, BLAS pinned to 1).  The unit is
+    per-worker wall-clock in gemm-equivalent flops, so the two modes are
+    directly comparable:
+
+    - ``elementwise`` pays ``ceil(batch / threads)`` waves of the
+      *sequential* per-element cost, one fan-out charge per wave, plus a
+      cache/bandwidth contention term -- each extra concurrently active
+      worker streams its own operands and output through the shared
+      memory system (the Ballard et al. bandwidth argument applied to
+      independent products instead of subtrees).
+    - ``within`` pays the full batch serially, each element at the
+      parallel plan's per-thread cost plus a per-element fan-out charge
+      that grows with the pool size -- the overhead that dominates below
+      the Section 3.4 ramp-up knee and makes small-shape batches prefer
+      elementwise fan-out.
+
+    ``threads`` is the worker budget of the whole batch (the pool size in
+    elementwise mode, the plan's thread count in within mode).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if mode == "elementwise":
+        workers = max(1, threads)
+        per = plan_cost(alg, p, q, r, steps, add_penalty=add_penalty,
+                        scheme="sequential", threads=1)
+        waves = math.ceil(batch / workers)
+        contention = add_penalty * (p * q + q * r + p * r) * (workers - 1)
+        return waves * (per + BATCH_FANOUT_FLOPS + contention)
+    if mode != "within":
+        raise ValueError(f"unknown batch mode {mode!r}")
+    per = plan_cost(alg, p, q, r, steps, add_penalty=add_penalty,
+                    scheme=scheme, threads=threads, subgroup=subgroup)
+    fanout = BATCH_FANOUT_FLOPS * threads if threads > 1 else 0.0
+    return batch * (per / max(1, threads) + fanout)
+
+
 # ------------------------------------------------------ reads/writes, Sec 3.2
 def addition_rw_counts(alg: FastAlgorithm, strategy: str) -> tuple[int, int]:
     """(submatrix reads, submatrix writes) per recursion level, Section 3.2.

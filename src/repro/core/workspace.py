@@ -72,6 +72,7 @@ from __future__ import annotations
 
 import contextlib
 import math
+import queue
 import tracemalloc
 from typing import Iterable, Sequence
 
@@ -234,6 +235,67 @@ class Workspace:
         nbytes = codegen_footprint(algorithm, strategy, cse, shape,
                                    dtype_a, steps, dtype_b=dtype_b)
         return cls(nbytes)
+
+
+class WorkspacePool:
+    """A checkout pool of identical arenas for elementwise batch fan-out.
+
+    A single :class:`Workspace` is not thread-safe, so when a batched call
+    fans elements across a worker pool each concurrently active element
+    needs a private arena.  The pool preallocates ``workers`` identical
+    arenas once (the batched footprint of the ISSUE's "per-worker arena
+    pool") and hands them out through a blocking queue: a worker task
+    acquires an arena, runs its element, and returns it -- with at most
+    ``workers`` tasks in flight the checkout never waits, and a warm
+    batched call touches the heap zero times.
+    """
+
+    def __init__(self, element_nbytes: int, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.element_nbytes = int(element_nbytes)
+        self._arenas = tuple(Workspace(element_nbytes)
+                             for _ in range(workers))
+        self._free: queue.SimpleQueue = queue.SimpleQueue()
+        for ws in self._arenas:
+            self._free.put(ws)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all per-worker arenas (the batched footprint)."""
+        return sum(ws.nbytes for ws in self._arenas)
+
+    @property
+    def overflow_allocations(self) -> int:
+        return sum(ws.overflow_allocations for ws in self._arenas)
+
+    def acquire(self) -> Workspace:
+        """Check an arena out (blocks until one is free), reset for use."""
+        ws = self._free.get()
+        ws.reset()
+        return ws
+
+    def release(self, ws: Workspace) -> None:
+        self._free.put(ws)
+
+    @contextlib.contextmanager
+    def arena(self):
+        ws = self.acquire()
+        try:
+            yield ws
+        finally:
+            self.release(ws)
+
+    def stats(self) -> dict:
+        """Aggregated arena health (same keys as :meth:`Workspace.stats`)."""
+        return {
+            "nbytes": self.nbytes,
+            "high_water": max(ws.high_water for ws in self._arenas),
+            "mark_depth": max(ws.mark_depth for ws in self._arenas),
+            "max_mark_depth": max(ws.max_mark_depth for ws in self._arenas),
+            "overflow_allocations": self.overflow_allocations,
+        }
 
 
 # ---------------------------------------------------------------------------

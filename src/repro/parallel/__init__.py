@@ -8,7 +8,7 @@ BFS and HYBRID fast-multiply schemes.
 
 from repro.parallel.blas import blas_threads, get_threads, is_controllable, set_threads
 from repro.parallel.gemm import dgemm, tiled_gemm
-from repro.parallel.pool import WorkerPool, available_cores
+from repro.parallel.pool import WorkerPool, available_cores, resolve_threads
 from repro.parallel.schedules import SCHEMES, default_subgroup, multiply_parallel
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "tiled_gemm",
     "WorkerPool",
     "available_cores",
+    "resolve_threads",
     "SCHEMES",
     "multiply_parallel",
 ]

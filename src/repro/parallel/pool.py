@@ -28,6 +28,23 @@ def available_cores() -> int:
         return os.cpu_count() or 1
 
 
+def resolve_threads(threads: int | None) -> int:
+    """Validate an explicit thread count, defaulting ``None`` to all cores.
+
+    ``threads=0`` used to silently mean "all cores" through ``threads or
+    available_cores()`` expressions, masking caller bugs; only ``None``
+    carries that meaning now.
+    """
+    if threads is None:
+        return available_cores()
+    if not isinstance(threads, int) or isinstance(threads, bool) or threads < 1:
+        raise ValueError(
+            f"threads must be a positive integer or None (got {threads!r}); "
+            "pass None for the all-cores default"
+        )
+    return threads
+
+
 class WorkerPool:
     """Thin, persistent thread pool with barrier-style task groups."""
 
@@ -75,8 +92,25 @@ class TaskGroup:
         return fut
 
     def wait(self) -> list:
-        results = [f.result() for f in self._futures]
-        self._futures.clear()
+        """Barrier: results of every submitted task, in submission order.
+
+        Every future is retrieved even when an early one raises --
+        abandoning the rest would leak "exception was never retrieved"
+        warnings and leave ``_futures`` populated for a reused group.  The
+        first exception (in submission order) is re-raised after the
+        barrier completes.
+        """
+        futures, self._futures = self._futures, []
+        results: list = []
+        first_exc: BaseException | None = None
+        for f in futures:
+            try:
+                results.append(f.result())
+            except BaseException as exc:  # noqa: BLE001 - barrier must drain
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
         return results
 
 

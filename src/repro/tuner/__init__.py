@@ -40,9 +40,16 @@ Quick start::
         C = tuner.matmul(A, B, tune="online")
 """
 
+from repro.tuner.batched import (
+    execute_batch_plan,
+    get_batch_plan,
+    matmul_batched,
+    reset_batch_pools,
+)
 from repro.tuner.cache import (
     PlanCache,
     SCHEMA_VERSION,
+    batched_key,
     default_cache_path,
     retarget_plan,
 )
@@ -59,8 +66,10 @@ from repro.tuner.dispatch import (
 from repro.tuner.measure import (
     Measurement,
     ShapeReport,
+    batch_operands,
     measure_plan,
     tune,
+    tune_batch,
     tune_shape,
     tuning_operands,
 )
@@ -76,13 +85,19 @@ from repro.tuner.policy import (
     reset_shared_policies,
 )
 from repro.tuner.space import (
+    BATCH_MODES,
+    BatchPlan,
     Plan,
+    batch_plan_cost,
     candidate_algorithms,
+    enumerate_batch_plans,
     enumerate_plans,
     subgroup_candidates,
 )
 
 __all__ = [
+    "BATCH_MODES",
+    "BatchPlan",
     "Plan",
     "PlanCache",
     "POLICIES",
@@ -95,15 +110,23 @@ __all__ = [
     "ShapeReport",
     "TuningPolicy",
     "UCBTunePolicy",
+    "batch_operands",
+    "batch_plan_cost",
+    "batched_key",
     "candidate_algorithms",
     "default_cache_path",
+    "enumerate_batch_plans",
     "enumerate_plans",
+    "execute_batch_plan",
     "execute_plan",
+    "get_batch_plan",
     "get_plan",
     "get_policy",
     "matmul",
+    "matmul_batched",
     "measure_plan",
     "register_policy",
+    "reset_batch_pools",
     "reset_shared_cache",
     "reset_shared_policies",
     "reset_workspaces",
@@ -111,6 +134,7 @@ __all__ = [
     "shutdown_shared_pools",
     "subgroup_candidates",
     "tune",
+    "tune_batch",
     "tune_shape",
     "tuning_operands",
     "workspace_for",

@@ -1,0 +1,442 @@
+"""Batched dispatch: one plan, one arena, one pool for a whole batch.
+
+``repro.matmul_batched`` serves the workload the per-call hot path cannot
+amortize: many same-shape products, each small enough that plan
+resolution, arena lookup and thread fan-out are a visible share of the
+call (the Section 3.4 regime below the dgemm ramp-up knee -- exactly
+where a serving workload of repeated small products lives).  The batched
+entry point resolves **one** plan, warms **one** arena (or one per-worker
+arena pool), borrows **one** persistent worker pool, and then runs every
+element through the ordinary :func:`repro.tuner.dispatch.execute_plan`
+with the arena reset between elements -- so a warm batched call touches
+the heap zero times end to end, not just per element.
+
+The batch also opens a new tunable axis (:data:`repro.tuner.space.BATCH_MODES`):
+
+- ``within`` -- elements run serially, each using the per-element plan's
+  own (possibly parallel) schedule: the existing behaviour, amortized.
+- ``elementwise`` -- elements fan out across the worker pool, each
+  running the *sequential* path with BLAS pinned to a single thread
+  under a private per-worker arena (:class:`repro.core.workspace.WorkspacePool`).
+  Below the ramp-up knee ``threads`` independent single-threaded gemms
+  beat one ``threads``-way gemm per element, which is the batching win
+  the paper's overhead analysis predicts.
+
+The mode is cost-ranked by :func:`repro.core.cost.batch_cost`, measurable
+by :func:`repro.tuner.measure.tune_batch` (``tune="auto"``/``"always"``),
+and remembered in the plan cache under a ``batch``-suffixed key
+(:func:`repro.tuner.cache.batched_key`) -- per-call entries are untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.core.workspace import WorkspacePool, codegen_footprint
+from repro.obs import telemetry
+from repro.parallel import blas
+from repro.parallel.pool import WorkerPool, resolve_threads
+from repro.tuner import dispatch
+from repro.tuner.cache import PlanCache
+from repro.tuner.space import (
+    BATCH_MODES,
+    BatchPlan,
+    Plan,
+    batch_plan_cost,
+)
+from repro.util.validation import check_matmul_dims, require_2d
+
+#: per-worker arena pools kept warm at once -- each serves one
+#: (plan, shape, dtype, workers) combination of elementwise batches
+#: (cf. ``dispatch.WORKSPACE_CACHE_SIZE`` for the per-call arenas)
+BATCH_POOL_CACHE_SIZE = 4
+
+_arena_pools: "OrderedDict[tuple, WorkspacePool]" = OrderedDict()
+_batch_lock = threading.Lock()
+
+
+def reset_batch_pools() -> None:
+    """Drop every cached per-worker arena pool (tests; to give memory back)."""
+    with _batch_lock:
+        _arena_pools.clear()
+
+
+# ---------------------------------------------------------------------------
+# operand normalization: stacked 3-D arrays or lists of same-shape 2-D
+# ---------------------------------------------------------------------------
+def _normalize_operands(A, B):
+    """Validate batched operands; returns ``(a_list, b_list, p, q, r, stacked)``.
+
+    Two accepted forms: stacked 3-D arrays ``(b, p, q) @ (b, q, r)``, or
+    sequences of same-shape 2-D arrays (the list convenience path).  One
+    shape per batch is the amortization contract -- ragged batches are
+    rejected, not silently looped.
+    """
+    if isinstance(A, np.ndarray) or isinstance(B, np.ndarray):
+        A = np.asarray(A)
+        B = np.asarray(B)
+        if A.ndim != 3 or B.ndim != 3:
+            raise ValueError(
+                f"stacked operands must be 3-D (batch, rows, cols); got "
+                f"A.ndim={A.ndim}, B.ndim={B.ndim} -- pass lists of 2-D "
+                f"arrays for the list path"
+            )
+        if A.shape[0] != B.shape[0]:
+            raise ValueError(
+                f"batch sizes differ: A has {A.shape[0]}, B has {B.shape[0]}"
+            )
+        if A.shape[2] != B.shape[1]:
+            raise ValueError(
+                f"inner dimensions do not match: A is {A.shape[1]}x{A.shape[2]} "
+                f"per element, B is {B.shape[1]}x{B.shape[2]}"
+            )
+        batch = A.shape[0]
+        return (list(A), list(B), A.shape[1], A.shape[2], B.shape[2], True)
+    a_list = [require_2d(np.asarray(a), f"A[{i}]") for i, a in enumerate(A)]
+    b_list = [require_2d(np.asarray(b), f"B[{i}]") for i, b in enumerate(B)]
+    if len(a_list) != len(b_list):
+        raise ValueError(
+            f"batch sizes differ: A has {len(a_list)}, B has {len(b_list)}"
+        )
+    if not a_list:
+        raise ValueError("empty batch: the list path needs >= 1 element")
+    for i, (a, b) in enumerate(zip(a_list, b_list)):
+        check_matmul_dims(a, b)
+        if a.shape != a_list[0].shape or b.shape != b_list[0].shape:
+            raise ValueError(
+                f"ragged batch: element {i} is "
+                f"{a.shape}@{b.shape}, element 0 is "
+                f"{a_list[0].shape}@{b_list[0].shape} -- one shape per "
+                f"batch is the amortization contract (split ragged work "
+                f"into per-shape batches)"
+            )
+        if a.dtype != a_list[0].dtype or b.dtype != b_list[0].dtype:
+            raise ValueError(
+                f"mixed dtypes in batch: element {i} is "
+                f"{a.dtype.name}@{b.dtype.name}, element 0 is "
+                f"{a_list[0].dtype.name}@{b_list[0].dtype.name}"
+            )
+    p, q = a_list[0].shape
+    return (a_list, b_list, p, q, b_list[0].shape[1], False)
+
+
+def _check_batch_out(out, a_list, b_list, p: int, r: int, stacked: bool):
+    """Validate ``out=`` at the batch level; returns per-element views."""
+    batch = len(a_list)
+    dtype = np.result_type(a_list[0], b_list[0]) if batch else None
+    if stacked:
+        if not isinstance(out, np.ndarray) or out.ndim != 3:
+            raise ValueError("out must be a 3-D ndarray for stacked operands")
+        if out.shape != (batch, p, r):
+            raise ValueError(
+                f"out has shape {out.shape}, expected {(batch, p, r)}"
+            )
+        if dtype is not None and out.dtype != dtype:
+            raise ValueError(f"out has dtype {out.dtype}, expected {dtype}")
+        if not out.flags.writeable:
+            raise ValueError("out must be writeable")
+        for x in a_list + b_list:
+            if np.may_share_memory(out, x):
+                raise ValueError("out must not overlap A or B")
+        return list(out)
+    if not isinstance(out, (list, tuple)) or len(out) != batch:
+        raise ValueError(
+            f"out must be a list of {batch} 2-D arrays for list operands"
+        )
+    from repro.core.workspace import check_out
+
+    return [check_out(c, a, b)
+            for c, a, b in zip(out, a_list, b_list)]
+
+
+# ---------------------------------------------------------------------------
+# per-worker arena pools (the batched footprint)
+# ---------------------------------------------------------------------------
+def _element_nbytes(plan: Plan, p: int, q: int, r: int,
+                    dtype_a, dtype_b) -> int:
+    """Arena bytes one elementwise worker needs for one element (0 for
+    plain BLAS, which needs no workspace)."""
+    if plan.is_dgemm:
+        return 0
+    alg = get_algorithm(plan.algorithm)
+    return codegen_footprint(alg, plan.strategy, False, (p, q, r),
+                             dtype_a, plan.steps, dtype_b=dtype_b)
+
+
+def _arena_pool(plan: Plan, p: int, q: int, r: int, dtype_a, dtype_b,
+                workers: int) -> WorkspacePool | None:
+    """The cached per-worker arena pool for an elementwise batch plan --
+    built on first use (counted by ``workspace.batch_arena_builds``),
+    LRU-kept up to :data:`BATCH_POOL_CACHE_SIZE`.  ``None`` when the
+    element plan needs no workspace (plain BLAS)."""
+    nbytes = _element_nbytes(plan, p, q, r, dtype_a, dtype_b)
+    if nbytes == 0:
+        return None
+    key = (plan, p, q, r, str(np.dtype(dtype_a)), str(np.dtype(dtype_b)),
+           workers)
+    with _batch_lock:
+        apool = _arena_pools.get(key)
+        if apool is not None:
+            _arena_pools.move_to_end(key)
+            return apool
+    apool = WorkspacePool(nbytes, workers)
+    telemetry.incr("workspace.batch_arena_builds")
+    with _batch_lock:
+        _arena_pools[key] = apool
+        while len(_arena_pools) > BATCH_POOL_CACHE_SIZE:
+            _arena_pools.popitem(last=False)
+    return apool
+
+
+# ---------------------------------------------------------------------------
+# resolution: one decision for the whole batch
+# ---------------------------------------------------------------------------
+def _sequential_element_plan(p: int, q: int, r: int, dtype: str,
+                             cache: PlanCache) -> Plan:
+    """The per-element plan of the elementwise head: the 1-thread
+    resolution for this shape, coerced onto the sequential path (a
+    cross-thread transfer can hand back a retargeted parallel scheme,
+    which one fanned-out element cannot run)."""
+    import dataclasses
+
+    plan, _ = dispatch.get_plan(p, q, r, dtype, threads=1, cache=cache)
+    if plan.scheme != "sequential" or plan.threads != 1:
+        plan = dataclasses.replace(plan, scheme="sequential", threads=1,
+                                   subgroup=None)
+    return plan
+
+
+def get_batch_plan(
+    p: int,
+    q: int,
+    r: int,
+    batch: int,
+    dtype: str = "float64",
+    threads: int | None = None,
+    cache: PlanCache | None = None,
+    batch_mode: str | None = None,
+) -> tuple[BatchPlan, str]:
+    """Resolve the plan + batch mode for a whole batch; ``(bplan, source)``.
+
+    ``source`` is ``"cache"`` (a batched entry measured before, via
+    :meth:`PlanCache.get_batched`), ``"model"`` (the within/elementwise
+    heads ranked by :func:`repro.core.cost.batch_cost` -- the per-element
+    plans still come from the ordinary resolution chain, so per-call
+    tuning is reused), or ``"forced"`` (``batch_mode`` pinned by the
+    caller).  Unlike per-call dispatch there is no trivial-shape bypass:
+    sub-knee shapes are where the batch axis matters most (fanning
+    single-threaded gemms across the pool is the sub-knee serving win).
+    """
+    threads = resolve_threads(threads)
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    cache = cache if cache is not None else dispatch._shared_cache()
+    if batch_mode is not None:
+        if batch_mode not in BATCH_MODES:
+            raise ValueError(
+                f"batch_mode must be one of {BATCH_MODES}, got {batch_mode!r}"
+            )
+        if batch_mode == "elementwise" and threads > 1:
+            plan = _sequential_element_plan(p, q, r, dtype, cache)
+            return BatchPlan(plan=plan, mode="elementwise",
+                             workers=threads), "forced"
+        plan, _ = dispatch.get_plan(p, q, r, dtype, threads, cache)
+        return BatchPlan(plan=plan, mode="within",
+                         workers=plan.threads), "forced"
+    hit = cache.get_batched(p, q, r, dtype, threads, batch)
+    if hit is not None:
+        if hit.mode == "elementwise" and hit.workers != threads:
+            hit = BatchPlan(plan=hit.plan, mode="elementwise",
+                            workers=threads)
+        return hit, "cache"
+    plan, _ = dispatch.get_plan(p, q, r, dtype, threads, cache)
+    candidates = [BatchPlan(plan=plan, mode="within", workers=plan.threads)]
+    if threads > 1:
+        elem = _sequential_element_plan(p, q, r, dtype, cache)
+        candidates.append(BatchPlan(plan=elem, mode="elementwise",
+                                    workers=threads))
+    best = min(candidates,
+               key=lambda bp: (batch_plan_cost(bp, p, q, r, batch),
+                               bp.describe()))
+    return best, "model"
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+def execute_batch_plan(
+    bplan: BatchPlan,
+    A,
+    B,
+    out=None,
+    pool: WorkerPool | None = None,
+    warm: bool = True,
+) -> np.ndarray | list:
+    """Run a whole batch exactly as ``bplan`` prescribes.
+
+    Operands as in :func:`matmul_batched`.  ``warm=True`` (the serving
+    path) draws arenas from the process-wide caches
+    (:func:`repro.tuner.dispatch.workspace_for` / :func:`_arena_pool`);
+    ``warm=False`` builds throwaway arenas so measurement sweeps
+    (:func:`repro.tuner.measure.tune_batch`) never evict the serving set.
+    """
+    a_list, b_list, p, q, r, stacked = _normalize_operands(A, B)
+    batch = len(a_list)
+    dtype = np.result_type(a_list[0], b_list[0]) if batch else np.dtype("f8")
+    if out is not None:
+        c_list = _check_batch_out(out, a_list, b_list, p, r, stacked)
+        result = out
+    elif stacked:
+        result = np.empty((batch, p, r), dtype=dtype)
+        c_list = list(result)
+    else:
+        c_list = [np.empty((p, r), dtype=dtype) for _ in range(batch)]
+        result = c_list
+    if batch == 0:
+        return result
+    plan = bplan.plan
+    if bplan.mode == "elementwise":
+        _run_elementwise(bplan, a_list, b_list, c_list, p, q, r,
+                         pool=pool, warm=warm)
+    else:
+        _run_within(plan, a_list, b_list, c_list, p, q, r,
+                    pool=pool, warm=warm)
+    return result
+
+
+def _run_within(plan: Plan, a_list, b_list, c_list, p, q, r,
+                pool: WorkerPool | None, warm: bool) -> None:
+    """Elements serially, each under the plan's own schedule: one arena
+    (the executors reset it at call start) and one pool for the batch."""
+    dtype_a, dtype_b = a_list[0].dtype, b_list[0].dtype
+    if warm:
+        workspace = dispatch.workspace_for(plan, p, q, r, dtype_a, dtype_b)
+    else:
+        workspace = dispatch.build_workspace(plan, p, q, r, dtype_a, dtype_b)
+    if pool is None and not plan.is_dgemm and plan.scheme != "sequential":
+        pool = dispatch._shared_pool(plan.threads)
+    for a, b, c in zip(a_list, b_list, c_list):
+        dispatch.execute_plan(plan, a, b, pool=pool, out=c,
+                              workspace=workspace)
+
+
+def _run_elementwise(bplan: BatchPlan, a_list, b_list, c_list, p, q, r,
+                     pool: WorkerPool | None, warm: bool) -> None:
+    """Elements fanned across the pool, each sequential under a private
+    per-worker arena, BLAS pinned to one thread for the whole fan-out
+    (the inner per-element BLAS contexts are then nested no-ops)."""
+    plan = bplan.plan
+    workers = bplan.workers
+    dtype_a, dtype_b = a_list[0].dtype, b_list[0].dtype
+    if warm:
+        apool = _arena_pool(plan, p, q, r, dtype_a, dtype_b, workers)
+    else:
+        nbytes = _element_nbytes(plan, p, q, r, dtype_a, dtype_b)
+        apool = WorkspacePool(nbytes, workers) if nbytes else None
+    if pool is None:
+        pool = dispatch._shared_pool(workers)
+
+    def element(i: int):
+        if apool is None:
+            return dispatch.execute_plan(plan, a_list[i], b_list[i],
+                                         out=c_list[i])
+        with apool.arena() as ws:
+            return dispatch.execute_plan(plan, a_list[i], b_list[i],
+                                         out=c_list[i], workspace=ws)
+
+    with blas.blas_threads(1):
+        group = pool.group()
+        for i in range(len(a_list)):
+            group.run(element, i)
+        group.wait()
+
+
+# ---------------------------------------------------------------------------
+# the public batched entry point
+# ---------------------------------------------------------------------------
+def matmul_batched(
+    A,
+    B,
+    out=None,
+    threads: int | None = None,
+    cache: PlanCache | None = None,
+    tune: str = "never",
+    batch_mode: str | None = None,
+    pool: WorkerPool | None = None,
+):
+    """Multiply a batch of same-shape products with one amortized decision.
+
+    ``A`` and ``B`` are stacked 3-D arrays (``(b, p, q) @ (b, q, r)``,
+    returning ``(b, p, r)``) or lists of same-shape 2-D arrays (returning
+    a list).  ``out=`` mirrors the input form (a 3-D stack or a list of
+    2-D destinations); with it a repeat call for a resolved shape is
+    allocation-free for the *whole batch* -- one plan lookup, one arena
+    (or per-worker arena pool), one persistent worker pool.
+
+    ``batch_mode`` pins the batch-parallelism axis (``"within"`` /
+    ``"elementwise"``); by default the mode is cost-ranked by
+    :func:`repro.core.cost.batch_cost` or served from a tuned batched
+    cache entry.  ``tune`` sweeps the batch axis with measurements:
+    ``"auto"`` tunes once when the decision is model-ranked (then the
+    winner is cached under the batched key), ``"always"`` re-measures
+    every call, ``"never"`` (default) trusts cache + model.  The online
+    per-call policies do not apply to the batch axis -- pass
+    ``tune="online"`` to :func:`repro.tuner.matmul` for per-call learning.
+    """
+    if tune not in ("never", "auto", "always"):
+        raise ValueError(
+            f"tune must be 'never', 'auto' or 'always' for batched calls "
+            f"(the per-call online policies do not sweep the batch axis); "
+            f"got {tune!r}"
+        )
+    a_list, b_list, p, q, r, stacked = _normalize_operands(A, B)
+    batch = len(a_list)
+    if batch == 0:  # an empty stacked batch: nothing to resolve or run
+        dtype = np.result_type(np.asarray(A).dtype, np.asarray(B).dtype)
+        if out is not None:
+            _check_batch_out(out, a_list, b_list, p, r, stacked)
+            return out
+        return np.empty((0, p, r), dtype=dtype)
+    threads = resolve_threads(threads)
+    dtype = np.result_type(a_list[0], b_list[0]).name
+    cache = cache if cache is not None else dispatch._shared_cache()
+    bplan, source = get_batch_plan(p, q, r, batch, dtype=dtype,
+                                   threads=threads, cache=cache,
+                                   batch_mode=batch_mode)
+    if batch_mode is None and (
+        tune == "always" or (tune == "auto" and source == "model")
+    ):
+        from repro.tuner.measure import tune_batch
+
+        bplan = tune_batch(p, q, r, batch, dtype=dtype, threads=threads,
+                           cache=cache)
+        source = "tuned"
+    operands = (a_list, b_list) if not stacked else (A, B)
+    if telemetry.enabled():
+        telemetry.incr("dispatch.batch_calls")
+        telemetry.incr("dispatch.batch_elements", batch)
+        telemetry.set_gauge("dispatch.batch_size", batch)
+        telemetry.incr("dispatch.source", source=source)
+        span = telemetry.span("dispatch.batch", mode=bplan.mode)
+    else:
+        span = contextlib.nullcontext()
+    with span:
+        result = execute_batch_plan(bplan, operands[0], operands[1],
+                                    out=out, pool=pool)
+    if telemetry.enabled():
+        telemetry.record_dispatch({
+            "shape": [p, q, r],
+            "dtype": dtype,
+            "threads": threads,
+            "source": source,
+            "plan": bplan.describe(),
+            "scheme": bplan.plan.scheme,
+            "batch": batch,
+            "batch_mode": bplan.mode,
+        })
+    return result

@@ -38,7 +38,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.tuner.space import Plan
+from repro.tuner.space import BatchPlan, Plan
 
 #: bump when the on-disk layout changes incompatibly
 #: (v2: entries carry a machine-fingerprint stamp; v3: timings are
@@ -82,11 +82,36 @@ def problem_key(m: int, k: int, n: int, dtype: str, threads: int) -> str:
     return f"{m}x{k}x{n}:{dtype}:{threads}t"
 
 
-def _parse_key(key: str) -> tuple[int, int, int, str, int] | None:
+def batched_key(m: int, k: int, n: int, dtype: str, threads: int,
+                batch: int) -> str:
+    """Key for an entry tuned over a whole batch of same-shape products.
+
+    A suffix on :func:`problem_key` rather than a schema bump: readers
+    that only know plain keys (older releases' ``_parse_key``) drop the
+    batched entries and keep every existing entry valid.
+    """
+    return f"{problem_key(m, k, n, dtype, threads)}:b{batch}"
+
+
+def _parse_key(key: str) -> tuple[int, int, int, str, int, int | None] | None:
+    """``(m, k, n, dtype, threads, batch)``; ``batch`` is ``None`` for
+    plain per-call keys and the batch size for :func:`batched_key` keys."""
     try:
-        shape, dtype, t = key.split(":")
+        parts = key.split(":")
+        if len(parts) == 3:
+            shape, dtype, t = parts
+            batch = None
+        elif len(parts) == 4:
+            shape, dtype, t, b = parts
+            if not b.startswith("b"):
+                return None
+            batch = int(b[1:])
+            if batch < 1:
+                return None
+        else:
+            return None
         m, k, n = (int(x) for x in shape.split("x"))
-        return m, k, n, dtype, int(t.rstrip("t"))
+        return m, k, n, dtype, int(t.rstrip("t")), batch
     except (ValueError, AttributeError):
         return None
 
@@ -259,6 +284,61 @@ class PlanCache:
             "fingerprint": self.fingerprint,
         }
 
+    def put_batched(self, m: int, k: int, n: int, dtype: str, threads: int,
+                    batch: int, bplan: BatchPlan,
+                    seconds: float | None = None,
+                    gflops: float | None = None) -> None:
+        """Store a plan tuned over a whole batch of same-shape products.
+
+        The entry mirrors :meth:`put` plus a ``batch`` field recording the
+        tuned batch mode (``"within"`` / ``"elementwise"``) and the worker
+        fan-out -- the new batch-parallelism axis.  Batched entries live
+        under :func:`batched_key` keys, so plain per-call entries (old and
+        new) are untouched and stay valid.
+        """
+        self._ensure()
+        plan = bplan.plan
+        self._entries[batched_key(m, k, n, dtype, threads, batch)] = {
+            "plan": plan.to_dict(),
+            "scheme": plan.scheme,
+            "subgroup": plan.subgroup,
+            "batch": bplan.mode,
+            "workers": bplan.workers,
+            "seconds": seconds,
+            "gflops": gflops,
+            "fingerprint": self.fingerprint,
+        }
+
+    def get_batched(self, m: int, k: int, n: int, dtype: str, threads: int,
+                    batch: int) -> BatchPlan | None:
+        """Batched-entry lookup: exact batch size first, else the entry
+        for the *closest* tuned batch size of the same problem key (batch
+        modes are regime plateaus in ``b`` just as plans are in shape;
+        ties break toward the smaller batch for determinism).  Stale
+        entries miss, like :meth:`get`."""
+        self._ensure()
+        prefix = problem_key(m, k, n, dtype, threads) + ":b"
+        candidates = []
+        for key, ent in self._entries.items():
+            if not key.startswith(prefix):
+                continue
+            parsed = _parse_key(key)
+            if parsed is None or parsed[5] is None or not self._fresh(ent):
+                continue
+            candidates.append((abs(math.log(parsed[5] / batch)),
+                               parsed[5], ent))
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda c: (c[0], c[1]))[2]
+        try:
+            return BatchPlan(
+                plan=Plan.from_dict(best["plan"]),
+                mode=best.get("batch", "within"),
+                workers=int(best.get("workers", 1)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
     def nearest(
         self, m: int, k: int, n: int, dtype: str = "float64",
         threads: int = 1, radius: float = NEAREST_RADIUS,
@@ -279,16 +359,23 @@ class PlanCache:
         entries: the online learning policies use this so a transfer
         counts as a serving *prior*, not as measured evidence that would
         end exploration at the new thread count.
+
+        Ties are broken deterministically: candidates are scanned in
+        sorted key order and a new candidate must be *strictly* closer to
+        displace the incumbent, so equidistant tuned shapes resolve to the
+        lexicographically smallest key no matter what order the cache file
+        listed them in -- identical calls pick identical plans.
         """
         self._ensure()
         best_exact, d_exact = None, radius
         best_cross, d_cross = None, radius
-        for key, ent in self._entries.items():
+        for key in sorted(self._entries):
+            ent = self._entries[key]
             parsed = _parse_key(key)
             if parsed is None or not self._fresh(ent):
                 continue
-            em, ek, en, edtype, et = parsed
-            if edtype != dtype:
+            em, ek, en, edtype, et, ebatch = parsed
+            if edtype != dtype or ebatch is not None:
                 continue
             if et != threads and not cross_thread:
                 continue
@@ -298,11 +385,11 @@ class PlanCache:
                 + math.log(en / n) ** 2
             )
             if et == threads:
-                if d <= d_exact:
+                if d < d_exact or (best_exact is None and d <= radius):
                     best_exact, d_exact = ent, d
             else:
                 d += CROSS_THREAD_PENALTY * abs(math.log(et / threads))
-                if d <= d_cross:
+                if d < d_cross or (best_cross is None and d <= radius):
                     best_cross, d_cross = ent, d
         best = best_exact if best_exact is not None else best_cross
         if best is None:

@@ -47,7 +47,7 @@ from repro.codegen import compile_algorithm
 from repro.core.workspace import Workspace, check_out
 from repro.obs import telemetry
 from repro.parallel import blas
-from repro.parallel.pool import WorkerPool, available_cores
+from repro.parallel.pool import WorkerPool, resolve_threads
 from repro.parallel.schedules import multiply_parallel
 from repro.tuner.cache import PlanCache
 from repro.tuner.policy import TuningPolicy, get_policy
@@ -121,11 +121,25 @@ def shutdown_shared_pools() -> None:
 
 def _shared_pool(workers: int) -> WorkerPool:
     """A persistent pool per worker count: thread startup is not something
-    a steady-state dispatch call should pay for."""
+    a steady-state dispatch call should pay for.
+
+    The pool is constructed *outside* ``_dispatch_lock`` -- spawning OS
+    threads under the lock would stall every concurrent dispatcher for the
+    duration of pool startup -- with a double-check on re-entry; the loser
+    of a construction race is shut down and discarded.
+    """
+    with _dispatch_lock:
+        pool = _pools.get(workers)
+    if pool is not None:
+        return pool
+    fresh = WorkerPool(workers)
     with _dispatch_lock:
         pool = _pools.get(workers)
         if pool is None:
-            pool = _pools[workers] = WorkerPool(workers)
+            pool = _pools[workers] = fresh
+            fresh = None
+    if fresh is not None:
+        fresh.shutdown()
     return pool
 
 
@@ -174,7 +188,13 @@ def workspace_for(plan: Plan, p: int, q: int, r: int,
             _workspaces.move_to_end(key)
             return ws
     ws = build_workspace(plan, p, q, r, dtype_a, dtype_b)
+    live = {t.ident for t in threading.enumerate()}
     with _dispatch_lock:
+        # sweep arenas of exited threads: nothing can ever hit their keys
+        # again (and thread idents are recyclable), yet LRU/byte pressure
+        # was the only thing that would release the memory they pin
+        for dead in [k for k in _workspaces if k[-1] not in live]:
+            del _workspaces[dead]
         _workspaces[key] = ws
         total = sum(w.nbytes for w in _workspaces.values())
         while len(_workspaces) > 1 and (
@@ -250,7 +270,7 @@ def get_plan(
     cache key.  The candidate space is dtype-specific (float32 recurses
     deeper within its stability budget, see :mod:`repro.tuner.space`).
     """
-    threads = threads or available_cores()
+    threads = resolve_threads(threads)
     if min(p, q, r) < trivial_dim(dtype):
         return Plan(threads=threads), "trivial"
     cache = cache if cache is not None else _shared_cache()
@@ -406,7 +426,7 @@ def matmul(
     p, q = A.shape
     r = B.shape[1]
     dtype = np.result_type(A, B).name
-    threads = threads or available_cores()
+    threads = resolve_threads(threads)
     cache = cache if cache is not None else _shared_cache()
     if telemetry.enabled():
         # the one telemetry branch the disabled hot path pays

@@ -17,7 +17,7 @@ import dataclasses
 import functools
 
 from repro.algorithms import get_algorithm, list_algorithms
-from repro.core.cost import parallel_traffic, plan_cost
+from repro.core.cost import batch_cost, parallel_traffic, plan_cost
 from repro.core.stability import max_stable_steps
 from repro.core.transforms import permutation_family
 from repro.parallel.schedules import SCHEMES
@@ -128,6 +128,125 @@ class Plan:
     def from_dict(cls, d: dict) -> "Plan":
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in d.items() if k in known})
+
+
+#: the batch-parallelism axis: run the pool *within* each multiply (the
+#: existing parallel schedules, elements serially) or fan the pool across
+#: *elementwise* batch entries (each element sequential, BLAS pinned to 1)
+BATCH_MODES = ("within", "elementwise")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchPlan:
+    """A per-element :class:`Plan` plus the batch-parallelism decision.
+
+    ``mode="within"`` executes batch elements one at a time, each using
+    the embedded plan's own (possibly parallel) schedule; ``workers``
+    then equals the plan's thread count.  ``mode="elementwise"`` fans
+    elements across a pool of ``workers`` threads, each element running
+    the *sequential* path single-BLAS-threaded under a per-worker arena
+    -- so the embedded plan must be sequential at 1 thread.
+    """
+
+    plan: Plan
+    mode: str = "within"
+    workers: int = 1
+
+    def __post_init__(self):
+        if self.mode not in BATCH_MODES:
+            raise ValueError(
+                f"mode must be one of {BATCH_MODES}, got {self.mode!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mode == "elementwise":
+            if self.plan.scheme != "sequential":
+                raise ValueError(
+                    "elementwise batch mode runs each element on the "
+                    f"sequential path, not scheme {self.plan.scheme!r}"
+                )
+            if self.plan.threads != 1:
+                raise ValueError(
+                    "elementwise batch mode pins each element to 1 BLAS "
+                    f"thread, got plan.threads={self.plan.threads}"
+                )
+        elif self.workers != self.plan.threads:
+            raise ValueError(
+                f"within batch mode uses the plan's own threads "
+                f"({self.plan.threads}), got workers={self.workers}"
+            )
+
+    def describe(self) -> str:
+        if self.mode == "elementwise":
+            return f"elementwise[{self.workers}w] x {self.plan.describe()}"
+        return f"within x {self.plan.describe()}"
+
+    def to_dict(self) -> dict:
+        return {"plan": self.plan.to_dict(), "mode": self.mode,
+                "workers": self.workers}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BatchPlan":
+        return cls(plan=Plan.from_dict(d["plan"]),
+                   mode=d.get("mode", "within"),
+                   workers=int(d.get("workers", 1)))
+
+
+def batch_plan_cost(bplan: BatchPlan, p: int, q: int, r: int, batch: int,
+                    add_penalty: float = 4.0) -> float:
+    """Modeled batch wall-clock of ``bplan`` (gemm-equivalent flops)."""
+    plan = bplan.plan
+    alg = None if plan.is_dgemm else get_algorithm(plan.algorithm)
+    return batch_cost(
+        alg, p, q, r, plan.steps, batch, threads=bplan.workers,
+        mode=bplan.mode, scheme=plan.scheme, subgroup=plan.subgroup,
+        add_penalty=add_penalty,
+    )
+
+
+def enumerate_batch_plans(
+    p: int,
+    q: int,
+    r: int,
+    batch: int,
+    threads: int = 1,
+    max_candidates: int | None = None,
+    add_penalty: float = 4.0,
+    dtype: str = "float64",
+) -> list[BatchPlan]:
+    """Candidate batch plans for ``batch`` same-shape products, best first.
+
+    Two heads merged by :func:`repro.core.cost.batch_cost`: the *within*
+    head wraps the ordinary per-call candidate space at the full thread
+    budget, and the *elementwise* head wraps the 1-thread sequential
+    space fanned across ``threads`` workers.  Unlike the per-call space,
+    sub-``trivial_dim`` shapes still produce two candidates (elementwise
+    vs within dgemm) -- fanning single-threaded gemms across the pool is
+    precisely the sub-knee batching win, so trivial shapes are where the
+    batch axis matters most.  ``threads <= 1`` has no fan-out to rank:
+    only the within head is enumerated.
+    """
+    dtype = str(dtype)
+    head = max_candidates if max_candidates is not None else 8
+    scored: list[tuple[float, BatchPlan]] = []
+    for plan in enumerate_plans(p, q, r, threads=threads,
+                                max_candidates=head, add_penalty=add_penalty,
+                                dtype=dtype):
+        bplan = BatchPlan(plan=plan, mode="within", workers=plan.threads)
+        scored.append((batch_plan_cost(bplan, p, q, r, batch,
+                                       add_penalty=add_penalty), bplan))
+    if threads > 1:
+        for plan in enumerate_plans(p, q, r, threads=1,
+                                    max_candidates=head,
+                                    add_penalty=add_penalty, dtype=dtype):
+            bplan = BatchPlan(plan=plan, mode="elementwise", workers=threads)
+            scored.append((batch_plan_cost(bplan, p, q, r, batch,
+                                           add_penalty=add_penalty), bplan))
+    scored.sort(key=lambda cb: (cb[0], cb[1].describe()))
+    bplans = [bp for _, bp in scored]
+    if max_candidates is not None:
+        bplans = bplans[:max_candidates]
+    return bplans
 
 
 @functools.lru_cache(maxsize=1)

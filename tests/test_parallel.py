@@ -13,6 +13,7 @@ from repro.parallel.pool import (
     parallel_axpy,
     parallel_combine,
     parallel_copy,
+    resolve_threads,
 )
 from repro.util.matrices import random_matrix
 
@@ -90,6 +91,66 @@ class TestPool:
             assert g.wait() == [1]
             g.run(lambda: 2)
             assert g.wait() == [2]
+
+    def test_wait_drains_all_futures_on_exception(self):
+        """Regression: ``wait()`` used to abandon the remaining futures as
+        soon as one raised, leaking "exception was never retrieved"
+        warnings and leaving ``_futures`` populated -- a reused group then
+        re-raised a *stale* exception on its next barrier."""
+        import threading
+
+        release = threading.Event()
+        finished = []
+
+        def slow_ok(i):
+            release.wait(5.0)
+            finished.append(i)
+            return i
+
+        def bad():
+            raise RuntimeError("first failure")
+
+        with WorkerPool(2) as pool:
+            g = pool.group()
+            g.run(bad)
+            for i in range(4):
+                g.run(slow_ok, i)
+            release.set()
+            with pytest.raises(RuntimeError, match="first failure"):
+                g.wait()
+            # the barrier really waited for everyone, then forgot them
+            assert sorted(finished) == [0, 1, 2, 3]
+            assert g._futures == []
+            # and the group is reusable with no stale exception
+            g.run(lambda: 99)
+            assert g.wait() == [99]
+
+    def test_wait_raises_first_exception_in_submission_order(self):
+        import threading
+
+        gate = threading.Event()
+
+        def fail_late():
+            gate.wait(5.0)
+            raise ValueError("submitted first")
+
+        def fail_fast():
+            raise KeyError("submitted second")
+
+        with WorkerPool(2) as pool:
+            g = pool.group()
+            g.run(fail_late)
+            g.run(fail_fast)
+            gate.set()
+            with pytest.raises(ValueError, match="submitted first"):
+                g.wait()
+
+    def test_resolve_threads(self):
+        assert resolve_threads(None) == available_cores()
+        assert resolve_threads(3) == 3
+        for bad in (0, -1, 2.5, True, "4"):
+            with pytest.raises(ValueError, match="threads"):
+                resolve_threads(bad)
 
     def test_row_slabs_cover_exactly(self):
         for nrows in (1, 2, 7, 100):

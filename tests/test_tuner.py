@@ -353,3 +353,159 @@ class TestBlasThreadGuard:
         with blas.blas_threads(None):
             pass
         assert blas.get_threads() == before
+
+
+class TestNearestTieBreak:
+    """Regression: ``nearest`` used ``<=`` while scanning an unsorted
+    dict, so equidistant tuned shapes resolved to whichever the cache
+    file happened to list last -- identical calls on identically-stocked
+    caches could pick different plans."""
+
+    def test_equidistant_entries_resolve_deterministically(self, tmp_path):
+        # 500 * 720 == 600**2: both entries are exactly log(6/5) from the
+        # query in log-dimension space
+        a = Plan(algorithm="strassen", steps=1)
+        b = Plan(algorithm="winograd", steps=1)
+        winners = []
+        for order in ((("a", a, 500), ("b", b, 720)),
+                      (("b", b, 720), ("a", a, 500))):
+            cache = PlanCache(tmp_path / f"plans_{order[0][0]}.json")
+            for _, plan, m in order:
+                cache.put(m, 600, 600, "float64", 1, plan)
+            winners.append(cache.nearest(600, 600, 600, "float64", 1))
+        assert winners[0] == winners[1]
+        # sorted key order: "500x..." precedes "720x..."
+        assert winners[0] == a
+
+    def test_strictly_closer_still_displaces(self, tmp_path):
+        cache = PlanCache(tmp_path / "plans.json")
+        far = Plan(algorithm="winograd", steps=2)
+        near = Plan(algorithm="strassen", steps=1)
+        cache.put(500, 600, 600, "float64", 1, far)
+        cache.put(620, 600, 600, "float64", 1, near)
+        assert cache.nearest(600, 600, 600, "float64", 1) == near
+
+
+class TestThreadsValidation:
+    """Regression: ``threads=0`` silently meant "all cores" through
+    ``threads or available_cores()`` expressions at every entry point,
+    masking caller bugs; only ``None`` carries that meaning now."""
+
+    def test_get_plan_rejects_zero(self, cache):
+        with pytest.raises(ValueError, match="threads"):
+            tuner.get_plan(256, 256, 256, threads=0, cache=cache)
+
+    def test_matmul_rejects_zero(self, cache):
+        A = random_matrix(64, 64, 0)
+        with pytest.raises(ValueError, match="threads"):
+            tuner.matmul(A, A, threads=0, cache=cache)
+
+    def test_tune_shape_rejects_zero(self, cache):
+        with pytest.raises(ValueError, match="threads"):
+            tuner.tune_shape(128, 128, 128, threads=0, cache=cache)
+
+    def test_tune_rejects_zero(self, cache):
+        from repro.tuner import measure
+
+        with pytest.raises(ValueError, match="threads"):
+            measure.tune([(128, 128, 128)], threads=0, cache=cache)
+
+    def test_none_still_means_all_cores(self, cache):
+        from repro.parallel.pool import available_cores
+
+        plan, _ = tuner.get_plan(64, 64, 64, threads=None, cache=cache)
+        assert plan.threads == available_cores()
+
+
+class TestSharedPoolConstruction:
+    """Regression: ``_shared_pool`` used to spawn the pool's OS threads
+    *inside* ``_dispatch_lock``, stalling every concurrent dispatcher for
+    the duration of pool startup."""
+
+    def test_pool_constructed_outside_dispatch_lock(self, monkeypatch):
+        from repro.parallel import pool as pool_mod
+        from repro.tuner import dispatch
+
+        dispatch.shutdown_shared_pools()
+        observed = []
+        real_init = pool_mod.WorkerPool.__init__
+
+        def probing_init(self, workers=None):
+            # if construction ran under the lock, this acquire would fail
+            free = dispatch._dispatch_lock.acquire(blocking=False)
+            if free:
+                dispatch._dispatch_lock.release()
+            observed.append(free)
+            real_init(self, workers)
+
+        monkeypatch.setattr(pool_mod.WorkerPool, "__init__", probing_init)
+        monkeypatch.setattr(dispatch, "WorkerPool", pool_mod.WorkerPool)
+        try:
+            got = dispatch._shared_pool(2)
+            assert got is dispatch._shared_pool(2)  # cached on re-entry
+            assert observed == [True]
+        finally:
+            dispatch.shutdown_shared_pools()
+
+    def test_construction_race_loser_is_shut_down(self, monkeypatch):
+        from repro.parallel import pool as pool_mod
+        from repro.tuner import dispatch
+
+        dispatch.shutdown_shared_pools()
+        rival = {}
+        losers = []
+
+        class RacingPool(pool_mod.WorkerPool):
+            def __init__(self, workers=None):
+                super().__init__(workers)
+                losers.append(self)
+                # the construction plants a rival in the registry,
+                # simulating a dispatcher that won the race meanwhile
+                if "pool" not in rival:
+                    rival["pool"] = pool_mod.WorkerPool(workers)
+                    with dispatch._dispatch_lock:
+                        dispatch._pools[self.workers] = rival["pool"]
+
+        monkeypatch.setattr(dispatch, "WorkerPool", RacingPool)
+        try:
+            got = dispatch._shared_pool(2)
+            assert got is rival["pool"]  # the loser was discarded...
+            # ...and shut down: its executor must reject new work
+            assert len(losers) == 1
+            with pytest.raises(RuntimeError):
+                losers[0].submit(lambda: None)
+        finally:
+            dispatch.shutdown_shared_pools()
+
+
+class TestWorkspaceDeadThreadSweep:
+    """Regression: arenas are keyed by thread ident, and a short-lived
+    dispatcher thread's arenas used to stay pinned until LRU pressure --
+    dead-thread entries are now swept on insert."""
+
+    def test_dead_thread_arenas_swept_on_insert(self, cache):
+        import threading
+
+        from repro.tuner import dispatch, reset_workspaces
+        from repro.tuner.space import Plan as TPlan
+
+        reset_workspaces()
+        plan = TPlan(algorithm="strassen", steps=1, scheme="sequential",
+                     threads=1)
+        worker_ident = []
+
+        def dispatcher():
+            worker_ident.append(threading.get_ident())
+            dispatch.workspace_for(plan, 160, 160, 160, "float64", "float64")
+
+        t = threading.Thread(target=dispatcher)
+        t.start()
+        t.join()
+        assert any(k[-1] == worker_ident[0] for k in dispatch._workspaces)
+        # the next insert from a live thread sweeps the dead ident's arena
+        dispatch.workspace_for(plan, 192, 192, 192, "float64", "float64")
+        assert not any(k[-1] == worker_ident[0]
+                       for k in dispatch._workspaces)
+        assert any(k[-1] == threading.get_ident()
+                   for k in dispatch._workspaces)
+        reset_workspaces()

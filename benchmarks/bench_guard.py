@@ -1,0 +1,160 @@
+"""Guard overhead benchmark: guarded warm dispatch vs unguarded.
+
+The repro.guard design contract mirrors repro.obs: resilience must be
+(a) *free* when off -- unguarded dispatch pays one ``resolve_guard``
+call returning ``None`` -- and (b) *cheap* when on with the default
+config: the guarded warm path adds a try/except bracket, a sampled
+NaN/Inf scan over ``sample_rows`` rows, and a quarantine-ledger lookup
+that short-circuits on an empty ledger.  This benchmark holds that to a
+number: the median warm-dispatch call with ``guard=True`` must stay
+within ``max_guard_overhead_ratio`` (checked in at
+``benchmarks/workspace_threshold.json``, 1.03 = 3%) of the same call
+unguarded.
+
+Methodology matches bench_obs.py: a pre-seeded in-memory plan cache
+makes every call a pure warm dispatch; guarded/unguarded trials are
+interleaved so background drift charges both paths equally; the ratio is
+the min over a few retries because one noisy scheduling event should not
+fail CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py [--quick] \
+        [--json BENCH_guard.json] [--max-ratio R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_workspace import interleaved_medians
+from repro import obs
+from repro.tuner import PlanCache, matmul, reset_workspaces
+from repro.tuner.space import Plan
+from repro.util.matrices import random_matrix
+
+THRESHOLD_FILE = Path(__file__).parent / "workspace_threshold.json"
+RETRIES = 3
+
+
+def _seeded_cache(n: int, threads: int) -> PlanCache:
+    """In-memory plan cache holding one dfs plan for the benchmark shape,
+    so every call resolves source=cache with zero tuning."""
+    cache = PlanCache(Path("/nonexistent/bench_guard_plans.json"))
+    plan = Plan(algorithm="strassen", steps=2, scheme="dfs", threads=threads)
+    cache.put(n, n, n, "float64", threads, plan, seconds=0.01, gflops=1.0)
+    return cache
+
+
+def measure_overhead(n: int, trials: int) -> dict:
+    """Median warm-dispatch seconds unguarded vs guard=True (min ratio
+    over RETRIES interleaved rounds); telemetry off for both."""
+    cache = _seeded_cache(n, 1)
+    A = random_matrix(n, n, 0)
+    B = random_matrix(n, n, 1)
+    out = np.empty((n, n))
+
+    def run_unguarded():
+        matmul(A, B, threads=1, cache=cache, out=out, guard=False)
+
+    def run_guarded():
+        matmul(A, B, threads=1, cache=cache, out=out, guard=True)
+
+    # warm both paths: plan cache, workspace arena, BLAS
+    obs.disable()
+    run_unguarded()
+    run_guarded()
+
+    best = None
+    for _ in range(RETRIES):
+        t_off, t_on = interleaved_medians(run_unguarded, run_guarded,
+                                          trials)
+        ratio = t_on / t_off if t_off > 0 else float("inf")
+        row = {"seconds_unguarded": t_off, "seconds_guarded": t_on,
+               "overhead_ratio": ratio}
+        if best is None or row["overhead_ratio"] < best["overhead_ratio"]:
+            best = row
+    best.update({"n": n, "trials": trials, "retries": RETRIES})
+    return best
+
+
+def fallback_sample(n: int) -> dict:
+    """One guarded call with a persistent injected plan failure: the
+    artifact's proof that the chain degrades to a bit-equal classical
+    product (and how much a full degradation costs)."""
+    from repro.guard import faults
+
+    cache = _seeded_cache(n, 1)
+    A = random_matrix(n, n, 2)
+    B = random_matrix(n, n, 3)
+    ref = np.matmul(A, B)
+    t0 = time.perf_counter()
+    with faults.inject("plan.raise"):
+        C = matmul(A, B, threads=1, cache=cache, guard=True)
+    seconds = time.perf_counter() - t0
+    return {
+        "n": n,
+        "seconds": seconds,
+        "bit_equal": bool(np.array_equal(C, ref)),
+        "faults_fired": faults.fired("plan.raise"),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller size / fewer trials (the CI smoke job)")
+    ap.add_argument("--json", type=Path, default=Path("BENCH_guard.json"))
+    ap.add_argument("--max-ratio", type=float, default=None,
+                    help="fail if guarded/unguarded median ratio exceeds "
+                         "this (default: benchmarks/workspace_threshold"
+                         ".json max_guard_overhead_ratio)")
+    args = ap.parse_args(argv)
+
+    threshold = args.max_ratio
+    if threshold is None:
+        try:
+            threshold = json.loads(THRESHOLD_FILE.read_text())[
+                "max_guard_overhead_ratio"]
+        except (OSError, KeyError, ValueError):
+            threshold = 1.03
+
+    n = 192 if args.quick else 256
+    trials = 31 if args.quick else 101
+
+    reset_workspaces()
+    row = measure_overhead(n, trials)
+    print(f"warm dispatch n={n}: unguarded "
+          f"{row['seconds_unguarded'] * 1e3:.3f} ms/call, guarded "
+          f"{row['seconds_guarded'] * 1e3:.3f} ms/call -> overhead "
+          f"x{row['overhead_ratio']:.4f} (gate x{threshold:.2f})")
+
+    sample = fallback_sample(n)
+    print(f"fallback sample (persistent plan.raise): degraded call "
+          f"{sample['seconds'] * 1e3:.3f} ms, bit-equal "
+          f"{sample['bit_equal']}, faults fired {sample['faults_fired']}")
+
+    ok = row["overhead_ratio"] <= threshold and sample["bit_equal"]
+    report = {
+        "benchmark": "guard-overhead",
+        "quick": args.quick,
+        "max_guard_overhead_ratio": threshold,
+        "overhead": row,
+        "fallback_sample": sample,
+        "pass": ok,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    args.json.write_text(json.dumps(report, indent=1))
+    print(f"wrote {args.json}; overhead x{row['overhead_ratio']:.4f} vs "
+          f"gate x{threshold:.2f} -> {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,10 +15,13 @@ Subcommands map onto the library's main entry points:
   ``--policy ucb`` drives the same traffic with deterministic UCB1; with
   ``--threads > 1`` the candidate space spans the parallel schemes and
   the hybrid-subgroup P' divisors;
-- ``cache``     — inspect (``show``) or invalidate (``invalidate``) the
-  plan cache; entries tuned under another machine fingerprint or a
-  pre-P'-sweep schema are shown as stale (with scheme/P' columns for
-  parallel plans) and are the default target of invalidation;
+- ``cache``     — inspect (``show``), invalidate (``invalidate``), or
+  health-check (``doctor``) the plan cache; entries tuned under another
+  machine fingerprint or a pre-P'-sweep schema are shown as stale (with
+  scheme/P' columns for parallel plans) and are the default target of
+  invalidation; ``doctor`` additionally reports quarantined plans (the
+  ``repro.guard`` failure ledger), unparsable entries, corrupt-file
+  sidecars, and load errors, and ``doctor --fix`` repairs what it can;
 - ``codegen``   — print the generated Python (or C) source for an
   algorithm/strategy/CSE combination;
 - ``search``    — run the §2.3 ALS search (delegates to
@@ -92,6 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         "whole batch) and compare against the stacked "
                         "vendor BLAS; with --explain, also prints the "
                         "batch-mode (within vs elementwise) decision")
+    p.add_argument("--guard", action="store_true",
+                   help="run through the repro.guard fallback chain "
+                        "(tuned plan -> cost-model plan -> classical "
+                        "BLAS); with --explain, also prints the guard "
+                        "counters the call left behind")
 
     p = sub.add_parser("tune", help="tune plans for a set of shapes and "
                                     "persist them to the plan cache")
@@ -133,14 +141,19 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="operand-generation seed (tunes are reproducible "
                         "given the same seed)")
 
-    p = sub.add_parser("cache", help="inspect or invalidate the plan cache")
-    p.add_argument("action", choices=["show", "invalidate"])
+    p = sub.add_parser("cache", help="inspect, invalidate, or health-check "
+                                     "the plan cache")
+    p.add_argument("action", choices=["show", "invalidate", "doctor"])
     p.add_argument("--cache", default=None,
                    help="plan-cache file (default: $REPRO_PLAN_CACHE or "
                         "~/.cache/repro/plan_cache.json)")
     p.add_argument("--all", action="store_true",
                    help="invalidate every entry, not just fingerprint-stale "
                         "ones")
+    p.add_argument("--fix", action="store_true",
+                   help="with doctor: drop unparsable entries, invalidate "
+                        "stale ones, clear the failure ledger, remove the "
+                        ".corrupt sidecar, and rewrite the cache file")
 
     p = sub.add_parser("codegen", help="print generated source")
     p.add_argument("--algorithm", "-a", default="strassen")
@@ -231,6 +244,9 @@ def cmd_multiply(args, out=sys.stdout) -> int:
                   file=sys.stderr)
             return 2
 
+    if args.guard:
+        # guarded execution lives in the dispatch entry point
+        args.auto = True
     p, q, r = args.shape if args.shape else (args.size,) * 3
     if args.batch is not None and args.batch < 1:
         print(f"error: --batch must be >= 1, got {args.batch}",
@@ -264,8 +280,10 @@ def cmd_multiply(args, out=sys.stdout) -> int:
         # pool and telemetry all included), so the printed numbers
         # describe what repro.matmul actually does for this shape
         fast = lambda: tuner.matmul(  # noqa: E731
-            A, B, threads=args.threads, cache=cache)
-        label = f"auto: {plan.describe()} [{source}]"
+            A, B, threads=args.threads, cache=cache,
+            guard=True if args.guard else None)
+        label = (f"auto: {plan.describe()} [{source}]"
+                 + (" +guard" if args.guard else ""))
     elif args.native:
         from repro.codegen import cbackend
 
@@ -326,7 +344,8 @@ def _multiply_batched(args, p: int, q: int, r: int, rng, out) -> int:
     )
     C = np.empty((batch, p, r), dtype=np.result_type(A, B))
     fast = lambda: tuner.matmul_batched(  # noqa: E731
-        A, B, out=C, threads=args.threads, cache=cache)
+        A, B, out=C, threads=args.threads, cache=cache,
+        guard=True if args.guard else None)
     t_blas = median_time(lambda: np.matmul(A, B), trials=args.trials)
     t_fast = median_time(fast, trials=args.trials)
     fast()
@@ -382,7 +401,8 @@ def _explain(args, A, B, p: int, q: int, r: int, cache, out) -> int:
     else:
         print(f"arena footprint: {ws.nbytes:,} bytes", file=out)
 
-    C = tuner.matmul(A, B, threads=threads, cache=cache)
+    C = tuner.matmul(A, B, threads=threads, cache=cache,
+                     guard=True if args.guard else None)
     err = float(np.linalg.norm(C - A @ B) / np.linalg.norm(A @ B))
     records = obs.dispatch_records()
     if records:
@@ -397,6 +417,33 @@ def _explain(args, A, B, p: int, q: int, r: int, cache, out) -> int:
         if row["name"].startswith(("dispatch.", "parallel.")):
             print(f"  span {row['name']:<28} x{row['count']:<3} "
                   f"total {row['total_s']:.4f}s", file=out)
+
+    guard = obs.summarize()["guard"]
+    if args.guard or any(
+            v for v in guard.values() if not isinstance(v, dict)) or any(
+            guard["fallbacks"].values()) or any(
+            guard["faults_fired"].values()):
+        mode = "on" if args.guard else "off (counters from prior faults)"
+        print(f"guard: {mode}", file=out)
+        fb = guard["fallbacks"]
+        fb_txt = ("  ".join(f"{k}={v}" for k, v in sorted(fb.items()))
+                  or "none")
+        print(f"  fallbacks: {fb_txt}", file=out)
+        print(f"  plan failures: {guard['plan_failures']}  "
+              f"quarantines: {guard['quarantines']}  "
+              f"skips: {guard['quarantine_skips']}  "
+              f"rehabilitations: {guard['rehabilitations']}", file=out)
+        print(f"  numeric violations: {guard['numeric_violations']}  "
+              f"watchdog timeouts: {guard['watchdog_timeouts']}  "
+              f"pool rebuilds: {guard['pool_rebuilds']}", file=out)
+        if guard["faults_fired"]:
+            fired = "  ".join(f"{k}={v}" for k, v
+                              in sorted(guard["faults_fired"].items()))
+            print(f"  injected faults fired: {fired}", file=out)
+        quarantined = cache.quarantined_keys() if cache is not None else []
+        if quarantined:
+            print(f"  quarantined plan keys: "
+                  f"{', '.join(quarantined)}", file=out)
 
     if args.batch:
         batch = args.batch
@@ -494,6 +541,28 @@ def _render_stats(snap: dict, origin: str, out) -> None:
               f"overflows {ws['overflows']}", file=out)
     else:
         print(f"workspace: overflows {ws['overflows']}", file=out)
+    guard = summary.get("guard", {})
+    if guard and (any(v for v in guard.values() if not isinstance(v, dict))
+                  or any(guard.get("fallbacks", {}).values())
+                  or any(guard.get("faults_fired", {}).values())):
+        fb = "  ".join(f"{k}={v}" for k, v
+                       in sorted(guard["fallbacks"].items())) or "none"
+        print(f"guard: fallbacks {fb}", file=out)
+        print(f"  plan failures {guard['plan_failures']}, "
+              f"quarantines {guard['quarantines']}, "
+              f"skips {guard['quarantine_skips']}, "
+              f"rehabilitations {guard['rehabilitations']}", file=out)
+        print(f"  numeric violations {guard['numeric_violations']}, "
+              f"watchdog timeouts {guard['watchdog_timeouts']}, "
+              f"pool rebuilds {guard['pool_rebuilds']}, "
+              f"task retries {guard['task_retries']}", file=out)
+        if guard["cache_load_errors"] or guard["cache_save_errors"]:
+            print(f"  cache load errors {guard['cache_load_errors']}, "
+                  f"save errors {guard['cache_save_errors']}", file=out)
+        if guard["faults_fired"]:
+            fired = "  ".join(f"{k}={v}" for k, v
+                              in sorted(guard["faults_fired"].items()))
+            print(f"  injected faults fired: {fired}", file=out)
     if summary["span_totals"]:
         print("span totals (by total time):", file=out)
         for row in summary["span_totals"][:12]:
@@ -511,9 +580,12 @@ def _render_stats(snap: dict, origin: str, out) -> None:
             print(f"  {g['name']}{labels} = {g['value']:.4g}", file=out)
     if summary["records"]:
         rec = summary["records"][-1]
+        # batch records carry no per-call seconds (the span does)
+        took = (f" {rec['seconds']:.4f}s" if "seconds" in rec
+                else f" batch={rec.get('batch', '?')}")
         print(f"last dispatch: {rec['shape'][0]}x{rec['shape'][1]}"
               f"x{rec['shape'][2]} {rec['dtype']} -> {rec['plan']} "
-              f"[{rec['source']}] {rec['seconds']:.4f}s", file=out)
+              f"[{rec['source']}]{took}", file=out)
 
 
 def _parse_shape(text: str) -> tuple[int, int, int]:
@@ -665,7 +737,26 @@ def cmd_cache(args, out=sys.stdout) -> int:
             else:
                 mark = f"STALE ({ent.get('fingerprint', 'unstamped')})"
             print(f"  {key:>32} -> {desc:<36} {perf} {mark}{cfg}", file=out)
+        ledger = cache.failure_ledger()
+        if ledger:
+            quarantined = cache.quarantined_keys()
+            print(f"failure ledger: {len(ledger)} key(s), "
+                  f"{len(quarantined)} quarantined", file=out)
+            for key, rec in ledger.items():
+                state = ("QUARANTINED" if rec.get("quarantined")
+                         else f"{rec.get('count', 0)} failure(s)")
+                skips = rec.get("skips", 0)
+                backoff = f", {skips} skip(s)" if skips else ""
+                print(f"  {key}: {state}{backoff} "
+                      f"[{rec.get('reason', '?')}]", file=out)
+        if cache.load_error is not None:
+            print(f"load error: {cache.load_error}", file=out)
+        if cache.corrupt_sidecar is not None:
+            print(f"corrupt original preserved at: {cache.corrupt_sidecar}",
+                  file=out)
         return 0
+    if args.action == "doctor":
+        return _cache_doctor(args, cache, out)
     # invalidate: stale-only by default, so work tuned on this machine
     # survives the sweep
     removed = cache.invalidate(stale_only=not getattr(args, "all", False))
@@ -676,6 +767,111 @@ def cmd_cache(args, out=sys.stdout) -> int:
     scope = "entries" if getattr(args, "all", False) else "stale entries"
     print(f"removed {len(removed)} {scope} from {cache.path} "
           f"({len(cache)} remain)", file=out)
+    return 0
+
+
+def _cache_doctor(args, cache, out) -> int:
+    """``repro cache doctor [--fix]``: one health report per failure mode.
+
+    Diagnoses (and with ``--fix`` repairs): unreadable/corrupt cache
+    files (the ``.corrupt`` sidecar the loader left), entries from a
+    stale schema or foreign machine fingerprint, entries whose plan no
+    longer parses, and plans the ``repro.guard`` failure ledger has
+    quarantined.  Exit code 0 when healthy (or fixed), 1 when problems
+    remain.
+    """
+    import os
+
+    from repro import tuner
+
+    print(f"plan cache: {cache.path}", file=out)
+    len(cache)  # force the lazy load so load_error/corrupt_sidecar are set
+    problems = 0
+
+    if cache.load_error is not None:
+        problems += 1
+        print(f"  [corrupt] cache file could not be loaded: "
+              f"{cache.load_error}", file=out)
+        if cache.corrupt_sidecar is not None:
+            print(f"            original preserved at "
+                  f"{cache.corrupt_sidecar}", file=out)
+
+    stale = set(cache.stale_keys())
+    unparsable = []
+    stale_schema = stale_fp = 0
+    for key, ent in cache.items():
+        try:
+            tuner.Plan.from_dict(ent["plan"])
+        except (KeyError, TypeError, ValueError):
+            unparsable.append(key)
+        if key in stale:
+            if ent.get("schema",
+                       tuner.SCHEMA_VERSION) != tuner.SCHEMA_VERSION:
+                stale_schema += 1
+            else:
+                stale_fp += 1
+    if stale_schema:
+        problems += 1
+        print(f"  [stale-schema] {stale_schema} entrie(s) from an "
+              f"incompatible schema (current v{tuner.SCHEMA_VERSION})",
+              file=out)
+    if stale_fp:
+        problems += 1
+        print(f"  [stale-fingerprint] {stale_fp} entrie(s) tuned under "
+              f"another machine fingerprint", file=out)
+    if unparsable:
+        problems += 1
+        print(f"  [unparsable] {len(unparsable)} entrie(s) whose plan "
+              f"no longer parses: {', '.join(unparsable)}", file=out)
+
+    quarantined = cache.quarantined_keys()
+    if quarantined:
+        problems += 1
+        ledger = cache.failure_ledger()
+        print(f"  [quarantined] {len(quarantined)} plan key(s) in the "
+              f"failure ledger:", file=out)
+        for key in quarantined:
+            rec = ledger[key]
+            print(f"      {key} ({rec.get('count', 0)} failure(s): "
+                  f"{rec.get('reason', '?')})", file=out)
+
+    sidecar = cache.corrupt_sidecar
+    if sidecar is None:
+        # a sidecar left by an earlier process is just as actionable
+        candidate = cache.path.with_name(cache.path.name + ".corrupt")
+        if candidate.exists():
+            sidecar = candidate
+    if sidecar is not None and cache.load_error is None:
+        problems += 1
+        print(f"  [corrupt-sidecar] leftover quarantined file: {sidecar}",
+              file=out)
+
+    if not problems:
+        print(f"  healthy: {len(cache)} entrie(s), no quarantined plans, "
+              f"no corruption", file=out)
+        return 0
+    if not args.fix:
+        print(f"{problems} problem(s); rerun with --fix to repair",
+              file=out)
+        return 1
+
+    # --fix: drop what cannot be used, keep what can
+    for key in unparsable:
+        cache.drop(key)
+    removed = cache.invalidate(stale_only=True)
+    cleared = cache.clear_failures()
+    if not cache.save():
+        print(f"error: could not rewrite {cache.path}: "
+              f"{cache.save_error}", file=sys.stderr)
+        return 1
+    if sidecar is not None:
+        try:
+            os.unlink(sidecar)
+        except OSError:
+            pass
+    print(f"fixed: dropped {len(unparsable)} unparsable + "
+          f"{len(removed)} stale entrie(s), cleared {cleared} ledger "
+          f"key(s), rewrote {cache.path}", file=out)
     return 0
 
 

@@ -78,6 +78,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.guard import faults as _faults
+
 #: byte alignment of every handed-out buffer (one cache line)
 ALIGNMENT = 64
 
@@ -104,22 +106,58 @@ class Workspace:
     """
 
     def __init__(self, nbytes: int):
-        self._buf = np.empty(max(int(nbytes), ALIGNMENT), dtype=np.uint8)
-        # absolute alignment: offset 0 of the arena is cache-line aligned
-        self._base = (-self._buf.ctypes.data) % ALIGNMENT
+        self._nbytes = max(int(nbytes), ALIGNMENT)
+        self._buf: np.ndarray | None = None
+        self._base = 0
         self._top = 0
         self.high_water = 0
         self.overflow_allocations = 0
         self.mark_depth = 0
         self.max_mark_depth = 0
+        #: calls served since the buffer was (re)allocated -- dispatch's
+        #: reclamation sweep uses this to spot single-shot arenas
+        self.uses = 0
+        self._alloc()
+
+    def _alloc(self) -> None:
+        self._buf = np.empty(self._nbytes, dtype=np.uint8)
+        # absolute alignment: offset 0 of the arena is cache-line aligned
+        self._base = (-self._buf.ctypes.data) % ALIGNMENT
 
     @property
     def nbytes(self) -> int:
-        return self._buf.nbytes
+        """Declared capacity (stable across :meth:`release_buffer`)."""
+        return self._nbytes
+
+    @property
+    def retained_nbytes(self) -> int:
+        """Bytes currently held by the backing buffer (0 when released)."""
+        return 0 if self._buf is None else self._buf.nbytes
+
+    @property
+    def retained(self) -> bool:
+        return self._buf is not None
+
+    def release_buffer(self) -> int:
+        """Drop the backing buffer; returns the bytes given back.
+
+        The arena object stays valid -- the next :meth:`reset` (every
+        executor's first act) or ``take`` reallocates lazily.  Views
+        handed out earlier keep the old buffer alive via refcounting, so
+        releasing is safe even if a product computed from this arena is
+        still in flight somewhere.
+        """
+        freed = self.retained_nbytes
+        self._buf = None
+        self._top = 0
+        self.mark_depth = 0
+        return freed
 
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
         """Rewind the bump pointer; every prior view becomes reusable."""
+        if self._buf is None:
+            self._alloc()
         self._top = 0
         self.mark_depth = 0
 
@@ -148,6 +186,8 @@ class Workspace:
 
     # ------------------------------------------------------------- hand-out
     def _carve(self, nbytes: int) -> np.ndarray | None:
+        if self._buf is None:
+            self._alloc()
         start = _align_up(self._top)
         end = start + nbytes
         if end + self._base > self._buf.nbytes:
@@ -160,7 +200,16 @@ class Workspace:
     def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """A C-contiguous ``shape``/``dtype`` view of the arena."""
         dtype = np.dtype(dtype)
-        raw = self._carve(_prod(shape) * dtype.itemsize)
+        raw = None
+        if _faults.active and _faults.should_fire("workspace.overflow"):
+            # forced overflow *with* a failing heap fallback: arena
+            # exhaustion under true memory pressure, the case the graceful
+            # everyday overflow below can't exercise
+            self.overflow_allocations += 1
+            raise MemoryError(
+                f"injected: workspace.overflow taking {shape} {dtype}")
+        else:
+            raw = self._carve(_prod(shape) * dtype.itemsize)
         if raw is None:
             self.overflow_allocations += 1
             return np.empty(shape, dtype=dtype)
@@ -168,6 +217,10 @@ class Workspace:
 
     def take_scratch(self, nbytes: int) -> np.ndarray:
         """An untyped byte buffer (viewed per use via :func:`scratch_view`)."""
+        if _faults.active and _faults.should_fire("workspace.overflow"):
+            self.overflow_allocations += 1
+            raise MemoryError(
+                f"injected: workspace.overflow taking {nbytes} scratch bytes")
         raw = self._carve(int(nbytes))
         if raw is None:
             self.overflow_allocations += 1

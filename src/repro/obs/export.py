@@ -160,7 +160,7 @@ def summarize(snap: dict | None = None) -> dict:
     """Digest a snapshot into the first-questions numbers.
 
     Returns ``{"calls", "sources", "cache_hit_ratio", "policy",
-    "workspace", "span_totals", "gauges", "records"}``.  The cache hit
+    "workspace", "guard", "span_totals", "gauges", "records"}``.  The cache hit
     ratio counts exact + nearest hits over non-trivial dispatches
     (trivial calls never consult the cache), ``None`` when nothing
     non-trivial ran.
@@ -202,6 +202,30 @@ def summarize(snap: dict | None = None) -> dict:
         "overflows": total("workspace.overflows"),
     }
 
+    # resilience counters (repro.guard): zero-filled so callers can probe
+    # without existence checks
+    guard = {
+        "fallbacks": {
+            dict(labels).get("stage", "?"): value
+            for labels, value in counters.get("guard.fallbacks", {}).items()
+        },
+        "failures": total("guard.failures"),
+        "plan_failures": total("guard.plan_failures"),
+        "quarantines": total("guard.quarantines"),
+        "quarantine_skips": total("guard.quarantine_skips"),
+        "rehabilitations": total("guard.rehabilitations"),
+        "numeric_violations": total("guard.numeric_violations"),
+        "watchdog_timeouts": total("guard.watchdog_timeouts"),
+        "pool_rebuilds": total("guard.pool_rebuilds"),
+        "cache_load_errors": total("cache.load_errors"),
+        "cache_save_errors": total("cache.save_errors"),
+        "task_retries": total("pool.task_retries"),
+        "faults_fired": {
+            dict(labels).get("point", "?"): value
+            for labels, value in counters.get("faults.fired", {}).items()
+        },
+    }
+
     span_totals: list[dict] = []
     for row in snap.get("spans", []):
         span_totals.append({
@@ -218,6 +242,7 @@ def summarize(snap: dict | None = None) -> dict:
         "cache_hit_ratio": hit_ratio,
         "policy": policy,
         "workspace": workspace,
+        "guard": guard,
         "span_totals": span_totals,
         "gauges": [
             {"name": name, "labels": dict(labels), "value": value}

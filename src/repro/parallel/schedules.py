@@ -370,7 +370,10 @@ def _expand_tree(
                 if node._child_bufs is None:
                     node._child_bufs = [None] * node.alg.rank
                 node._child_bufs[r] = (S_buf, T_buf, scr)
-        children = pool.map_wait(lambda wi: wi[0].form_child(wi[1]), work)
+        # forming a child recomputes S/T from the parent's operands
+        # into preassigned buffers -- idempotent, so retryable
+        children = pool.map_wait(lambda wi: wi[0].form_child(wi[1]), work,
+                                 retryable=True)
         frontier = children
         tree.append(children)
     return tree
@@ -440,7 +443,8 @@ def _run_bfs(
     with telemetry.span("parallel.bfs.leaf"):
         _label_tasks(pool, "bfs.leaf")
         with blas.blas_threads(1):  # one BLAS thread per task: pure task parallelism
-            pool.map_wait(lambda nd: nd.leaf_multiply(), leaves)
+            pool.map_wait(lambda nd: nd.leaf_multiply(), leaves,
+                          retryable=True)
     with telemetry.span("parallel.bfs.combine"):
         _label_tasks(pool, "bfs.combine")
         _combine_tree(tree, pool, ws, w_scratch)
@@ -473,7 +477,8 @@ def _run_hybrid(
         with telemetry.span("parallel.hybrid.bfs_batch"):
             _label_tasks(pool, "hybrid.bfs_batch")
             with blas.blas_threads(1):
-                pool.map_wait(lambda nd: nd.leaf_multiply(), bfs_part)
+                pool.map_wait(lambda nd: nd.leaf_multiply(), bfs_part,
+                              retryable=True)
     # 2) remainder after an explicit barrier (paper's lock scheme): DFS
     if dfs_part:
         with telemetry.span("parallel.hybrid.remainder"):
@@ -491,7 +496,8 @@ def _run_hybrid(
                     for i in range(0, len(dfs_part), waves):
                         pool.map_wait(
                             lambda nd: nd.leaf_multiply(),
-                            dfs_part[i : i + waves]
+                            dfs_part[i : i + waves],
+                            retryable=True,
                         )
     with telemetry.span("parallel.hybrid.combine"):
         _label_tasks(pool, "hybrid.combine")

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.algorithms import get_algorithm
 from repro.core.workspace import WorkspacePool, codegen_footprint
+from repro.guard import chain
 from repro.obs import telemetry
 from repro.parallel import blas
 from repro.parallel.pool import WorkerPool, resolve_threads
@@ -368,6 +369,7 @@ def matmul_batched(
     tune: str = "never",
     batch_mode: str | None = None,
     pool: WorkerPool | None = None,
+    guard=None,
 ):
     """Multiply a batch of same-shape products with one amortized decision.
 
@@ -387,6 +389,12 @@ def matmul_batched(
     every call, ``"never"`` (default) trusts cache + model.  The online
     per-call policies do not apply to the batch axis -- pass
     ``tune="online"`` to :func:`repro.tuner.matmul` for per-call learning.
+
+    ``guard`` opts the whole batch into fault-tolerant execution (same
+    spellings as :func:`repro.tuner.dispatch.matmul`): a failing batch
+    plan degrades to classical per-element ``np.matmul``, the failure is
+    charged to the plan's quarantine ledger, and the product is always
+    returned.
     """
     if tune not in ("never", "auto", "always"):
         raise ValueError(
@@ -425,9 +433,15 @@ def matmul_batched(
         span = telemetry.span("dispatch.batch", mode=bplan.mode)
     else:
         span = contextlib.nullcontext()
+    cfg = chain.resolve_guard(guard)
     with span:
-        result = execute_batch_plan(bplan, operands[0], operands[1],
-                                    out=out, pool=pool)
+        if cfg is not None:
+            result = chain.run_batch_guarded(
+                cfg, bplan, operands[0], operands[1], out, pool, cache,
+                p, q, r, dtype, threads, batch)
+        else:
+            result = execute_batch_plan(bplan, operands[0], operands[1],
+                                        out=out, pool=pool)
     if telemetry.enabled():
         telemetry.record_dispatch({
             "shape": [p, q, r],

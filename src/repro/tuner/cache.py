@@ -17,6 +17,21 @@ fingerprint (other CPU, other BLAS, other core count) is *stale*: lookups
 bypass it -- falling through to the cost model -- rather than trust it,
 and ``invalidate()`` clears exactly those entries.
 
+Failures feed back into the cache too: :meth:`PlanCache.record_failure`
+keeps a **per-entry failure ledger** (persisted as a separate top-level
+``"failures"`` dict -- old readers ignore it, so no schema bump), and a
+(plan, shape, dtype) key that fails :data:`QUARANTINE_THRESHOLD` times is
+*quarantined*: every lookup (:meth:`get` / :meth:`nearest` /
+:meth:`get_batched`) skips it so dispatch falls through to the next
+resolution stage, except for a bounded backoff probe -- every
+:data:`QUARANTINE_PROBE_EVERY`-th skip lets the plan through once, so a
+transient failure (a since-fixed BLAS, a freed machine) rehabilitates
+(:meth:`record_success` clears the ledger) instead of being exiled
+forever.  Load/save failures are no longer silent either: they are
+counted (``cache.load_errors`` / ``cache.save_errors``), warned once per
+path, and a corrupt cache file is preserved as a ``.corrupt`` sidecar
+for inspection rather than overwritten.
+
 Untuned shapes fall back to the *nearest* tuned shape (same dtype,
 closest in log-space) -- the paper's Figure 5/6 regimes are broad
 plateaus, so a plan tuned at ``3000 x 416 x 3000`` transfers to
@@ -33,12 +48,18 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import math
 import os
 import tempfile
+import threading
 from pathlib import Path
 
+from repro.guard import faults
+from repro.obs import telemetry
 from repro.tuner.space import BatchPlan, Plan
+
+_log = logging.getLogger("repro.tuner.cache")
 
 #: bump when the on-disk layout changes incompatibly
 #: (v2: entries carry a machine-fingerprint stamp; v3: timings are
@@ -67,6 +88,29 @@ NEAREST_RADIUS = 1.0
 #: never outrank an exact-thread hit (those are searched first) and only
 #: transfers when it is genuinely close
 CROSS_THREAD_PENALTY = 0.5
+
+#: guarded-execution failures of one (plan, shape, dtype, threads) key
+#: before it is quarantined -- one failure may be environmental bad luck,
+#: two in a row is a pattern worth demoting
+QUARANTINE_THRESHOLD = 2
+
+#: bounded backoff: every Nth lookup that would skip a quarantined plan
+#: lets it through as a probe, so recovery is possible without a manual
+#: ledger clear
+QUARANTINE_PROBE_EVERY = 16
+
+#: cache paths already warned about this process (load/save problems are
+#: warned once per path, counted always)
+_warned_paths: set[str] = set()
+_warned_lock = threading.Lock()
+
+
+def _warn_once(key: str, message: str) -> None:
+    with _warned_lock:
+        if key in _warned_paths:
+            return
+        _warned_paths.add(key)
+    _log.warning("%s", message)
 
 
 def default_cache_path() -> Path:
@@ -150,8 +194,11 @@ class PlanCache:
         self.path = Path(path) if path is not None else default_cache_path()
         self._fingerprint = fingerprint
         self._entries: dict[str, dict] = {}
+        self._failures: dict[str, dict] = {}
         self._loaded = False
         self.save_error: Exception | None = None
+        self.load_error: Exception | None = None
+        self.corrupt_sidecar: Path | None = None
 
     @property
     def fingerprint(self) -> str:
@@ -163,13 +210,43 @@ class PlanCache:
 
     # ------------------------------------------------------------- storage
     def load(self) -> "PlanCache":
+        """Read the cache file; always leaves a usable (maybe empty) cache.
+
+        Failures are loud now, not silent: an unreadable path or
+        unparsable content sets ``load_error``, bumps the
+        ``cache.load_errors`` counter, and warns once per path.  An
+        unparsable file is additionally preserved as a ``.corrupt``
+        sidecar (``corrupt_sidecar``) so whatever a crash mid-write or
+        bit-rot left behind can be inspected -- the next ``save`` would
+        otherwise overwrite the evidence.
+        """
         self._loaded = True
         self._entries = {}
+        self._failures = {}
+        self.load_error = None
         try:
-            raw = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return self  # a cold cache is the normal first-run state
+        except OSError as e:
+            self._note_load_error(e, f"plan cache at {self.path} is "
+                                      f"unreadable ({e}); running uncached")
             return self
-        if not isinstance(raw, dict):
+        if faults.active and faults.should_fire("cache.corrupt"):
+            text = '{"injected": "cache.corrupt'
+        try:
+            raw = json.loads(text)
+            if not isinstance(raw, dict):
+                raise ValueError(
+                    f"top-level JSON value is {type(raw).__name__}, "
+                    f"not an object")
+        except (json.JSONDecodeError, ValueError) as e:
+            sidecar = self._quarantine_corrupt_file()
+            kept = (f"; original preserved at {sidecar}" if sidecar
+                    else "")
+            self._note_load_error(
+                e, f"plan cache at {self.path} is corrupt ({e}); "
+                   f"starting fresh{kept}")
             return self
         schema = raw.get("schema")
         if schema != SCHEMA_VERSION and schema not in COMPAT_SCHEMAS:
@@ -180,6 +257,12 @@ class PlanCache:
                 k: v for k, v in entries.items()
                 if _parse_key(k) is not None and isinstance(v, dict)
             }
+        failures = raw.get("failures", {})
+        if isinstance(failures, dict):
+            self._failures = {
+                k: dict(v) for k, v in failures.items()
+                if isinstance(v, dict)
+            }
         if schema != SCHEMA_VERSION:
             # the v4 -> v5 migration path: entries survive the read (so
             # `cache show` can display them and `invalidate` can clear
@@ -188,6 +271,22 @@ class PlanCache:
             for ent in self._entries.values():
                 ent.setdefault("schema", schema)
         return self
+
+    def _note_load_error(self, exc: Exception, message: str) -> None:
+        self.load_error = exc
+        telemetry.incr("cache.load_errors")
+        _warn_once(f"load:{self.path}", message)
+
+    def _quarantine_corrupt_file(self) -> Path | None:
+        """Move an unparsable cache file aside to ``<name>.corrupt``
+        (best-effort -- a read-only directory leaves it in place)."""
+        sidecar = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, sidecar)
+        except OSError:
+            return None
+        self.corrupt_sidecar = sidecar
+        return sidecar
 
     def save(self) -> bool:
         """Write the cache atomically; ``False`` when it cannot persist.
@@ -200,6 +299,8 @@ class PlanCache:
         file is removed on any failure.
         """
         payload = {"schema": SCHEMA_VERSION, "entries": self._entries}
+        if self._failures:
+            payload["failures"] = self._failures
         tmp = None
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -212,6 +313,10 @@ class PlanCache:
             tmp = None
         except (OSError, TypeError, ValueError) as e:
             self.save_error = e
+            telemetry.incr("cache.save_errors")
+            _warn_once(f"save:{self.path}",
+                       f"plan cache at {self.path} cannot be saved ({e}); "
+                       f"tuning results stay in-memory only")
             return False
         finally:
             if tmp is not None:
@@ -229,6 +334,100 @@ class PlanCache:
     def _fresh(self, ent: dict) -> bool:
         return (ent.get("schema", SCHEMA_VERSION) == SCHEMA_VERSION
                 and ent.get("fingerprint") == self.fingerprint)
+
+    # ------------------------------------------------------ failure ledger
+    @staticmethod
+    def _ledger_key(m: int, k: int, n: int, dtype: str, threads: int,
+                    plan: Plan, batch: int | None = None) -> str:
+        base = (batched_key(m, k, n, dtype, threads, batch)
+                if batch is not None
+                else problem_key(m, k, n, dtype, threads))
+        return f"{base}|{plan.describe()}"
+
+    def record_failure(self, m: int, k: int, n: int, dtype: str,
+                       threads: int, plan: Plan, reason,
+                       batch: int | None = None) -> bool:
+        """Charge one guarded-execution failure to a (plan, problem) key.
+
+        Returns ``True`` when this failure crossed
+        :data:`QUARANTINE_THRESHOLD` and newly quarantined the key.  The
+        ledger rides in the cache file, so quarantine survives the
+        process (the caller owns the decision to ``save``).
+        """
+        self._ensure()
+        key = self._ledger_key(m, k, n, dtype, threads, plan, batch)
+        rec = self._failures.setdefault(
+            key, {"count": 0, "quarantined": False, "skips": 0})
+        rec["count"] = int(rec.get("count", 0)) + 1
+        rec["reason"] = str(reason)[:200]
+        telemetry.incr("guard.plan_failures")
+        if (not rec.get("quarantined")
+                and rec["count"] >= QUARANTINE_THRESHOLD):
+            rec["quarantined"] = True
+            telemetry.incr("guard.quarantines")
+            _log.warning(
+                "plan [%s] quarantined for %dx%dx%d %s after %d "
+                "failure(s): %s", plan.describe(), m, k, n, dtype,
+                rec["count"], rec["reason"])
+            return True
+        return False
+
+    def record_success(self, m: int, k: int, n: int, dtype: str,
+                       threads: int, plan: Plan,
+                       batch: int | None = None) -> None:
+        """A clean guarded execution rehabilitates the key: the ledger
+        entry (and any quarantine) is dropped entirely."""
+        if not self._failures:
+            return
+        key = self._ledger_key(m, k, n, dtype, threads, plan, batch)
+        if self._failures.pop(key, None) is not None:
+            telemetry.incr("guard.rehabilitations")
+
+    def plan_quarantined(self, m: int, k: int, n: int, dtype: str,
+                         threads: int, plan: Plan,
+                         batch: int | None = None) -> bool:
+        """Should a lookup skip this plan for this problem?
+
+        ``True`` for quarantined keys -- except every
+        :data:`QUARANTINE_PROBE_EVERY`-th call, which lets the plan
+        through once as a bounded retry probe (skips are tallied in the
+        ledger, so backoff state persists with it).
+        """
+        if not self._failures:
+            return False
+        rec = self._failures.get(
+            self._ledger_key(m, k, n, dtype, threads, plan, batch))
+        if rec is None or not rec.get("quarantined"):
+            return False
+        skips = int(rec.get("skips", 0)) + 1
+        rec["skips"] = skips
+        if skips % QUARANTINE_PROBE_EVERY == 0:
+            telemetry.incr("guard.quarantine_probes")
+            return False
+        telemetry.incr("guard.quarantine_skips")
+        return True
+
+    def failure_ledger(self) -> dict[str, dict]:
+        """A copy of the raw failure ledger (reporting/doctor tools)."""
+        self._ensure()
+        return {k: dict(v) for k, v in sorted(self._failures.items())}
+
+    def quarantined_keys(self) -> list[str]:
+        self._ensure()
+        return sorted(k for k, v in self._failures.items()
+                      if v.get("quarantined"))
+
+    def clear_failures(self) -> int:
+        """Drop the whole ledger; returns how many keys it held."""
+        self._ensure()
+        n = len(self._failures)
+        self._failures = {}
+        return n
+
+    def drop(self, key: str) -> bool:
+        """Remove one entry by raw key (doctor/repair tools)."""
+        self._ensure()
+        return self._entries.pop(key, None) is not None
 
     # -------------------------------------------------------------- access
     def __len__(self) -> int:
@@ -252,9 +451,12 @@ class PlanCache:
         if ent is None or not self._fresh(ent):
             return None
         try:
-            return Plan.from_dict(ent["plan"])
+            plan = Plan.from_dict(ent["plan"])
         except (KeyError, TypeError, ValueError):
             return None
+        if self.plan_quarantined(m, k, n, dtype, threads, plan):
+            return None
+        return plan
 
     def entry(self, m: int, k: int, n: int, dtype: str = "float64",
               threads: int = 1) -> dict | None:
@@ -331,13 +533,17 @@ class PlanCache:
             return None
         best = min(candidates, key=lambda c: (c[0], c[1]))[2]
         try:
-            return BatchPlan(
+            bplan = BatchPlan(
                 plan=Plan.from_dict(best["plan"]),
                 mode=best.get("batch", "within"),
                 workers=int(best.get("workers", 1)),
             )
         except (KeyError, TypeError, ValueError):
             return None
+        if self.plan_quarantined(m, k, n, dtype, threads, bplan.plan,
+                                 batch=batch):
+            return None
+        return bplan
 
     def nearest(
         self, m: int, k: int, n: int, dtype: str = "float64",
@@ -398,7 +604,11 @@ class PlanCache:
             plan = Plan.from_dict(best["plan"])
         except (KeyError, TypeError, ValueError):
             return None
-        return plan if plan.threads == threads else retarget_plan(plan, threads)
+        if plan.threads != threads:
+            plan = retarget_plan(plan, threads)
+        if self.plan_quarantined(m, k, n, dtype, threads, plan):
+            return None
+        return plan
 
     # -------------------------------------------------------- invalidation
     def stale_keys(self) -> list[str]:
@@ -424,4 +634,5 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries = {}
+        self._failures = {}
         self._loaded = True

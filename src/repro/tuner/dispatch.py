@@ -45,6 +45,8 @@ from repro.algorithms import get_algorithm
 from repro.bench.metrics import effective_gflops
 from repro.codegen import compile_algorithm
 from repro.core.workspace import Workspace, check_out
+from repro.guard import chain as _guard_chain
+from repro.guard import faults
 from repro.obs import telemetry
 from repro.parallel import blas
 from repro.parallel.pool import WorkerPool, resolve_threads
@@ -72,6 +74,10 @@ WORKSPACE_CACHE_SIZE = 8
 #: budgeted by bytes as well as by entries; the most recent arena always
 #: stays (evicting the arena of the call in flight would defeat reuse)
 WORKSPACE_CACHE_BYTES = 2 << 30
+
+#: schemes whose arenas carry the full-tree (Section 4.2) footprint --
+#: the candidates for single-shot reclamation below
+_TREE_SCHEMES = ("bfs", "hybrid", "hybrid-subgroup")
 
 _log = logging.getLogger(__name__)
 
@@ -126,21 +132,39 @@ def _shared_pool(workers: int) -> WorkerPool:
     The pool is constructed *outside* ``_dispatch_lock`` -- spawning OS
     threads under the lock would stall every concurrent dispatcher for the
     duration of pool startup -- with a double-check on re-entry; the loser
-    of a construction race is shut down and discarded.
+    of a construction race is shut down and discarded.  A pool found
+    *broken* (dead executor, latched by supervision) is replaced the same
+    way a missing one is built.
     """
     with _dispatch_lock:
         pool = _pools.get(workers)
-    if pool is not None:
+    if pool is not None and not pool.broken:
         return pool
     fresh = WorkerPool(workers)
     with _dispatch_lock:
         pool = _pools.get(workers)
-        if pool is None:
-            pool = _pools[workers] = fresh
-            fresh = None
+        if pool is None or pool.broken:
+            stale, _pools[workers] = pool, fresh
+            pool, fresh = fresh, stale
     if fresh is not None:
-        fresh.shutdown()
+        fresh.shutdown(wait=False)
     return pool
+
+
+def rebuild_shared_pool(workers: int) -> WorkerPool:
+    """Tear down the shared pool for ``workers`` and build a fresh one.
+
+    The guard chain's recovery move after a hang/death implicating the
+    pool: the old executor is abandoned without joining (a wedged worker
+    must not hang recovery), and the replacement is built through
+    :func:`_shared_pool` so concurrent dispatchers converge on one pool.
+    """
+    with _dispatch_lock:
+        old = _pools.pop(workers, None)
+    if old is not None:
+        old.shutdown(wait=False)
+    telemetry.incr("guard.pool_rebuilds")
+    return _shared_pool(workers)
 
 
 def build_workspace(plan: Plan, p: int, q: int, r: int,
@@ -186,8 +210,10 @@ def workspace_for(plan: Plan, p: int, q: int, r: int,
         ws = _workspaces.get(key)
         if ws is not None:
             _workspaces.move_to_end(key)
+            ws.uses += 1
             return ws
     ws = build_workspace(plan, p, q, r, dtype_a, dtype_b)
+    ws.uses = 1
     live = {t.ident for t in threading.enumerate()}
     with _dispatch_lock:
         # sweep arenas of exited threads: nothing can ever hit their keys
@@ -195,15 +221,58 @@ def workspace_for(plan: Plan, p: int, q: int, r: int,
         # was the only thing that would release the memory they pin
         for dead in [k for k in _workspaces if k[-1] not in live]:
             del _workspaces[dead]
+        # single-shot reclamation (ROADMAP carry-over): dispatch moving on
+        # to a *different* problem is the signal that a full-tree BFS/
+        # hybrid arena used exactly once was a one-off -- give its buffer
+        # back now rather than pinning hundreds of MB until LRU pressure.
+        # The entry stays cached: a later hit reallocates lazily, and any
+        # in-flight views keep the old buffer alive via refcounting.
+        _reclaim_locked(skip_key=key)
         _workspaces[key] = ws
-        total = sum(w.nbytes for w in _workspaces.values())
+        total = sum(w.retained_nbytes for w in _workspaces.values())
         while len(_workspaces) > 1 and (
             len(_workspaces) > WORKSPACE_CACHE_SIZE
             or total > WORKSPACE_CACHE_BYTES
         ):
             _, evicted = _workspaces.popitem(last=False)
-            total -= evicted.nbytes
+            total -= evicted.retained_nbytes
     return ws
+
+
+def _reclaim_locked(skip_key: tuple | None = None) -> int:
+    """Release the buffers of single-use tree-scheme arenas (caller holds
+    ``_dispatch_lock``); returns bytes freed."""
+    freed = 0
+    for k, w in _workspaces.items():
+        if k == skip_key or k[0].scheme not in _TREE_SCHEMES:
+            continue
+        if w.uses <= 1 and w.retained:
+            freed += w.release_buffer()
+            telemetry.incr("workspace.reclaimed")
+    return freed
+
+
+def reclaim_single_shot() -> int:
+    """Explicitly release every single-use BFS/hybrid arena's buffer.
+
+    The sweep above runs automatically when dispatch turns to a new
+    problem; callers that know a burst of one-off large calls just ended
+    (a serving layer between batches, tests) can force it.  Returns the
+    bytes given back.
+    """
+    with _dispatch_lock:
+        return _reclaim_locked()
+
+
+def evict_workspace(plan: Plan, p: int, q: int, r: int,
+                    dtype_a, dtype_b) -> bool:
+    """Drop the calling thread's cached arena for one (plan, shape,
+    dtype) -- the guard chain's hygiene after a failed execution, whose
+    half-written views a zombie worker might still touch."""
+    key = (plan, p, q, r, str(np.dtype(dtype_a)), str(np.dtype(dtype_b)),
+           threading.get_ident())
+    with _dispatch_lock:
+        return _workspaces.pop(key, None) is not None
 
 
 def execute_plan(
@@ -225,6 +294,9 @@ def execute_plan(
     the schedule verbatim -- the tuner's swept value is what executes, not
     a derived default.
     """
+    if faults.active and faults.should_fire("plan.raise"):
+        raise faults.InjectedFault(
+            f"injected: plan.raise executing [{plan.describe()}]")
     if plan.is_dgemm:
         with blas.blas_threads(plan.threads):
             if out is None:
@@ -284,6 +356,13 @@ def get_plan(
     if plan is not None:
         return plan, "transfer"
     plans = enumerate_plans(p, q, r, threads=threads, dtype=dtype)
+    for cand in plans:
+        # the quarantine ledger reaches the model stage too: a candidate
+        # that keeps failing guarded execution is passed over for the
+        # next-ranked plan (bounded -- the ledger's backoff probe lets it
+        # through periodically to check whether the world healed)
+        if not cache.plan_quarantined(p, q, r, dtype, threads, cand):
+            return cand, "model"
     return plans[0], "model"
 
 
@@ -400,6 +479,7 @@ def matmul(
     tune: str | TuningPolicy = "never",
     pool: WorkerPool | None = None,
     out: np.ndarray | None = None,
+    guard=None,
 ) -> np.ndarray:
     """Multiply ``A @ B``, choosing the algorithm automatically.
 
@@ -416,6 +496,15 @@ def matmul(
     product (same shape/result-dtype, not overlapping ``A``/``B``); with
     it, a repeat call for a cached shape is allocation-free -- plan lookup,
     arena, pool and destination are all reused.
+
+    ``guard`` opts into the fault-tolerant execution ladder
+    (:mod:`repro.guard.chain`): ``True`` / ``"on"`` for the default
+    config, a number for a watchdog deadline in seconds, a
+    :class:`~repro.guard.chain.GuardConfig` for full control, ``False`` /
+    ``"off"`` to force unguarded.  The default ``None`` defers to the
+    ``REPRO_GUARD`` environment variable (unset means unguarded).  A
+    guarded call degrades tuned plan -> cost-model plan -> classical
+    ``np.matmul`` on failure and always returns a correct product.
     """
     A = require_2d(A, "A")
     B = require_2d(B, "B")
@@ -428,6 +517,10 @@ def matmul(
     dtype = np.result_type(A, B).name
     threads = resolve_threads(threads)
     cache = cache if cache is not None else _shared_cache()
+    cfg = _guard_chain.resolve_guard(guard)
+    if cfg is not None:
+        return _guard_chain.run_guarded(cfg, policy, A, B, p, q, r, dtype,
+                                        threads, cache, pool, out)
     if telemetry.enabled():
         # the one telemetry branch the disabled hot path pays
         return _matmul_observed(policy, A, B, p, q, r, dtype, threads,

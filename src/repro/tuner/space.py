@@ -126,6 +126,9 @@ class Plan:
 
     @classmethod
     def from_dict(cls, d: dict) -> "Plan":
+        if not isinstance(d, dict):
+            raise TypeError(f"plan payload must be a dict, got "
+                            f"{type(d).__name__}")
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in d.items() if k in known})
 

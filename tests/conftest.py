@@ -38,6 +38,11 @@ def pytest_configure(config):
         "cpu_count); auto-skipped below that so single-core local runs "
         "stay green",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection resilience test (repro.guard); the CI "
+        "chaos job runs exactly these with REPRO_TEST_THREADS=4",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

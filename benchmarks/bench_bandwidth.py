@@ -15,7 +15,7 @@ from repro.bench.metrics import median_time
 from repro.bench.workloads import scaled, square
 from repro.parallel import blas
 from repro.parallel.add import measure_stream
-from repro.parallel.pool import WorkerPool, parallel_combine
+from repro.parallel.pool import parallel_combine
 
 
 def test_bandwidth_vs_gemm_scaling(benchmark, pool):

@@ -5,7 +5,6 @@ N x N x N.  Paper finding: write-once without CSE is the best default;
 pairwise is slowest (more reads/writes); CSE can hurt write-once.
 """
 
-import itertools
 
 from conftest import bench_once
 

@@ -13,7 +13,7 @@ from conftest import LARGE_CORES, SMALL_CORES, bench_once
 from repro.algorithms import get_algorithm
 from repro.bench.metrics import effective_gflops, median_time
 from repro.bench.workloads import outer, scaled, square, ts_square
-from repro.parallel import WorkerPool, blas, multiply_parallel
+from repro.parallel import blas, multiply_parallel
 
 SCHEMES = ("dfs", "bfs", "hybrid")
 

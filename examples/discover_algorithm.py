@@ -13,7 +13,6 @@ script.
 import numpy as np
 
 from repro.codegen import compile_algorithm, generate_source
-from repro.core import tensor as tz
 from repro.core.algorithm import FastAlgorithm
 from repro.search import AlsOptions, search
 

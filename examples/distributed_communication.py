@@ -17,7 +17,6 @@ from repro.distributed import (
     caps_cost,
     enumerate_schedules,
     summa_cost,
-    threed_cost,
 )
 from repro.distributed.fast import bandwidth_exponent
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Local mirror of the CI `analyze` job: the repro.analyze suite always
+# runs (it needs only numpy); ruff/mypy run when installed and are
+# skipped otherwise, so the script works in offline containers that
+# bake in only the numeric toolchain.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== repro analyze --all =="
+PYTHONPATH=src python -m repro analyze --all
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks scripts examples
+else
+    echo "== ruff not installed; skipped (CI pins ruff==0.5.7) =="
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (advisory) =="
+    mypy || echo "mypy reported issues (non-blocking, matching CI)"
+else
+    echo "== mypy not installed; skipped (CI pins mypy==1.11.1) =="
+fi

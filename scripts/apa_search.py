@@ -17,7 +17,6 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import tensor as tz
-from repro.core.algorithm import FastAlgorithm
 from repro.search.als import AlsOptions, als
 from repro.search.driver import SearchOutcome, save_outcome
 from repro.util.rng import spawn_rngs

@@ -113,7 +113,11 @@ def matmul(A: np.ndarray, B: np.ndarray, **kwargs) -> np.ndarray:
     return tuner.matmul(A, B, **kwargs)
 
 
-def matmul_batched(A, B, **kwargs):
+def matmul_batched(
+    A: np.ndarray | list[np.ndarray],
+    B: np.ndarray | list[np.ndarray],
+    **kwargs,
+) -> np.ndarray | list[np.ndarray]:
     """Multiply a whole batch of same-shape products, ``(b, p, q) @
     (b, q, r)`` stacked arrays or lists of 2-D arrays, with one amortized
     decision: one plan lookup, one workspace arena (or per-worker arena

@@ -24,7 +24,7 @@ from pathlib import Path
 from repro.algorithms.classical import classical
 from repro.algorithms.strassen import strassen, winograd
 from repro.core.algorithm import FastAlgorithm
-from repro.core.compose import direct_sum_k, direct_sum_m, direct_sum_n, kron
+from repro.core.compose import direct_sum_k, direct_sum_n, kron
 from repro.core.transforms import permutation_family, permute_to
 
 DATA_DIR = Path(__file__).parent / "data"

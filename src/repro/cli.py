@@ -168,6 +168,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("rest", nargs=argparse.REMAINDER,
                    help="arguments forwarded to repro.search.driver")
 
+    p = sub.add_parser("analyze", help="static analysis: symbolic kernel "
+                                       "verification, arena-discipline and "
+                                       "concurrency lint, catalog validation")
+    p.add_argument("--all", dest="run_all", action="store_true",
+                   help="run every analyzer (default when none is selected)")
+    for name, text in (
+            ("symbolic", "prove every generated kernel computes its scheme"),
+            ("arena", "mark/release scoping, escapes, footprint budgets"),
+            ("concurrency", "unlocked shared-state mutation, hot-path "
+                            "allocation"),
+            ("catalog", "shape/dtype/residual validation of catalog "
+                        "entries")):
+        p.add_argument(f"--{name}", dest="analyzers", action="append_const",
+                       const=name, help=text)
+    p.add_argument("--algorithm", "-a", action="append", dest="algorithms",
+                   default=None, metavar="NAME",
+                   help="restrict symbolic/arena passes to these catalog "
+                        "entries (repeatable; default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings instead of a summary")
+
     p = sub.add_parser("stats", help="report the repro.obs telemetry "
                                      "registry (dispatch sources, arena "
                                      "health, span totals)")
@@ -891,6 +912,42 @@ def cmd_codegen(args, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_analyze(args, out=sys.stdout) -> int:
+    import json as _json
+
+    from repro import analyze
+
+    selected = args.analyzers or []
+    if args.run_all or not selected:
+        selected = list(analyze.ANALYZERS)
+    kwargs = {}
+    if args.algorithms:
+        kwargs["names"] = args.algorithms
+    total_checked = 0
+    all_findings = []
+    for name in selected:
+        checked, findings = analyze.run(
+            name, **(kwargs if name in ("symbolic", "arena") else {}))
+        total_checked += checked
+        all_findings.extend(findings)
+        if not args.json:
+            status = "clean" if not findings else f"{len(findings)} finding(s)"
+            print(f"{name:>12}: {checked} checked, {status}", file=out)
+    if args.json:
+        print(_json.dumps({
+            "analyzers": selected,
+            "checked": total_checked,
+            "findings": [f.to_dict() for f in all_findings],
+        }, indent=2), file=out)
+    else:
+        for f in all_findings:
+            print(f"  {f}", file=out)
+        verdict = "clean" if not all_findings else "FINDINGS"
+        print(f"{total_checked} checked across {len(selected)} analyzer(s): "
+              f"{verdict}", file=out)
+    return 1 if all_findings else 0
+
+
 def cmd_search(args, out=sys.stdout) -> int:
     from repro.search import driver
 
@@ -913,6 +970,7 @@ def main(argv: list[str] | None = None) -> int:
         "tune": cmd_tune,
         "cache": cmd_cache,
         "codegen": cmd_codegen,
+        "analyze": cmd_analyze,
         "search": cmd_search,
         "stats": cmd_stats,
     }[args.command]

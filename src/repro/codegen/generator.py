@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import hashlib
 import textwrap
+import threading
 import types
 
 import numpy as np
@@ -57,6 +58,10 @@ from repro.codegen.chains import Chain, ChainProgram, extract_chains
 from repro.codegen.strategies import STRATEGIES, emit_chain, needs_axpy_scratch
 
 _MODULE_CACHE: dict[str, types.ModuleType] = {}
+#: guards _MODULE_CACHE -- concurrent dispatchers compile lazily, and an
+#: unlocked check-then-exec would run the same module body twice and hand
+#: out two distinct function objects for one fingerprint
+_compile_lock = threading.Lock()
 
 
 def _np_literal(M: np.ndarray) -> str:
@@ -155,6 +160,19 @@ def generate_source(
     emit("from repro.codegen import runtime")
     emit("")
     emit(f"M, K, N, RANK = {m}, {k}, {n}, {R}")
+    # Scheme metadata the static verifier (repro.analyze.symbolic) keys on:
+    # enough to resolve the catalog [U,V,W] this module must implement and
+    # the exact generator configuration that produced it.
+    emit("_SCHEME = {")
+    emit(f"    'algorithm': {alg.name!r},")
+    emit(f"    'base_case': ({m}, {k}, {n}),")
+    emit(f"    'rank': {R},")
+    emit(f"    'apa': {bool(alg.apa)!r},")
+    emit(f"    'strategy': {strategy!r},")
+    emit(f"    'cse': {bool(cse)!r},")
+    emit(f"    'pipe_scalars': {bool(pipe_scalars)!r},")
+    emit(f"    'fingerprint': {fingerprint(algorithm, strategy, cse, pipe_scalars)!r},")
+    emit("}")
     emit("")
 
     if strategy == "streaming":
@@ -389,12 +407,15 @@ def compile_algorithm(
     key = fingerprint(algorithm, strategy, cse, pipe_scalars)
     mod = _MODULE_CACHE.get(key)
     if mod is None:
-        src = generate_source(algorithm, strategy, cse, pipe_scalars)
-        name = f"repro_generated_{algorithm.name}_{strategy}_{key}"
-        mod = types.ModuleType(name)
-        mod.__dict__["__file__"] = f"<generated {name}>"
-        exec(compile(src, f"<generated {name}>", "exec"), mod.__dict__)
-        _MODULE_CACHE[key] = mod
+        with _compile_lock:
+            mod = _MODULE_CACHE.get(key)
+            if mod is None:
+                src = generate_source(algorithm, strategy, cse, pipe_scalars)
+                name = f"repro_generated_{algorithm.name}_{strategy}_{key}"
+                mod = types.ModuleType(name)
+                mod.__dict__["__file__"] = f"<generated {name}>"
+                exec(compile(src, f"<generated {name}>", "exec"), mod.__dict__)
+                _MODULE_CACHE[key] = mod
     return mod.multiply
 
 

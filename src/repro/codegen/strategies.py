@@ -30,9 +30,29 @@ lowering bit for bit).
 
 from __future__ import annotations
 
-from repro.codegen.chains import Chain, Term
+from repro.codegen.chains import Chain
 
 STRATEGIES = ("pairwise", "write_once", "streaming")
+
+#: The statement vocabulary each strategy is allowed to emit.  The symbolic
+#: verifier (``repro.analyze.symbolic``) interprets exactly these forms; any
+#: new emission shape must be added here *and* taught to the interpreter, so
+#: a drift between generator and verifier fails loudly instead of silently
+#: skipping statements.
+EMISSION_CONTRACT = {
+    "pairwise": (
+        "copy", "unary_neg", "scale", "binop_add", "binop_sub",
+        "alias", "view_store",
+    ),
+    "write_once": (
+        "np.empty", "ws.take", "np.copyto", "np.negative", "np.multiply",
+        "np.add", "np.subtract", "runtime.axpy", "alias", "view_store",
+    ),
+    "streaming": (
+        "np.empty", "ws.take", "runtime.streaming_combine",
+        "runtime.streaming_output", "runtime.streaming_output_stacked",
+    ),
+}
 
 
 def _c(x: float) -> str:

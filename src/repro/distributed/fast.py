@@ -27,7 +27,6 @@ from __future__ import annotations
 import itertools
 import math
 
-import numpy as np
 
 from repro.core.algorithm import FastAlgorithm
 from repro.distributed.classical import summa_cost

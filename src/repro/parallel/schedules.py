@@ -36,7 +36,6 @@ task body), so a warm call performs no large allocations.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
 
 import numpy as np
 

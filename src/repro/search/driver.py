@@ -25,7 +25,7 @@ import numpy as np
 from repro.core import tensor as tz
 from repro.core.algorithm import EXACT_TOL
 from repro.search.als import AlsOptions, AlsResult, als
-from repro.search.sparsify import discretize, normalize_columns, round_to_grid
+from repro.search.sparsify import discretize, normalize_columns
 from repro.util.rng import spawn_rngs
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import contextlib
 import threading
 from collections import OrderedDict
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -361,16 +362,16 @@ def _run_elementwise(bplan: BatchPlan, a_list, b_list, c_list, p, q, r,
 # the public batched entry point
 # ---------------------------------------------------------------------------
 def matmul_batched(
-    A,
-    B,
-    out=None,
+    A: np.ndarray | Sequence[np.ndarray],
+    B: np.ndarray | Sequence[np.ndarray],
+    out: np.ndarray | Sequence[np.ndarray] | None = None,
     threads: int | None = None,
     cache: PlanCache | None = None,
     tune: str = "never",
     batch_mode: str | None = None,
     pool: WorkerPool | None = None,
-    guard=None,
-):
+    guard: bool | float | str | chain.GuardConfig | None = None,
+) -> np.ndarray | list[np.ndarray]:
     """Multiply a batch of same-shape products with one amortized decision.
 
     ``A`` and ``B`` are stacked 3-D arrays (``(b, p, q) @ (b, q, r)``,

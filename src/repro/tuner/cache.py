@@ -193,6 +193,9 @@ class PlanCache:
                  fingerprint: str | None = None):
         self.path = Path(path) if path is not None else default_cache_path()
         self._fingerprint = fingerprint
+        # Reentrant: public methods lock, then call other locking methods
+        # (get -> plan_quarantined, invalidate -> stale_keys, * -> _ensure).
+        self._lock = threading.RLock()
         self._entries: dict[str, dict] = {}
         self._failures: dict[str, dict] = {}
         self._loaded = False
@@ -220,6 +223,10 @@ class PlanCache:
         bit-rot left behind can be inspected -- the next ``save`` would
         otherwise overwrite the evidence.
         """
+        with self._lock:
+            return self._load_locked()
+
+    def _load_locked(self) -> "PlanCache":
         self._loaded = True
         self._entries = {}
         self._failures = {}
@@ -298,9 +305,17 @@ class PlanCache:
         read-only cache dir must not break dispatch.  The sibling temp
         file is removed on any failure.
         """
-        payload = {"schema": SCHEMA_VERSION, "entries": self._entries}
-        if self._failures:
-            payload["failures"] = self._failures
+        with self._lock:
+            # shallow-copy each record so concurrent in-place updates
+            # (plan_quarantined bumps "skips") cannot race json.dump
+            payload = {
+                "schema": SCHEMA_VERSION,
+                "entries": {k: dict(v) for k, v in self._entries.items()},
+            }
+            if self._failures:
+                payload["failures"] = {
+                    k: dict(v) for k, v in self._failures.items()
+                }
         tmp = None
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -328,8 +343,9 @@ class PlanCache:
         return True
 
     def _ensure(self) -> None:
-        if not self._loaded:
-            self.load()
+        with self._lock:
+            if not self._loaded:
+                self.load()
 
     def _fresh(self, ent: dict) -> bool:
         return (ent.get("schema", SCHEMA_VERSION) == SCHEMA_VERSION
@@ -354,34 +370,36 @@ class PlanCache:
         ledger rides in the cache file, so quarantine survives the
         process (the caller owns the decision to ``save``).
         """
-        self._ensure()
-        key = self._ledger_key(m, k, n, dtype, threads, plan, batch)
-        rec = self._failures.setdefault(
-            key, {"count": 0, "quarantined": False, "skips": 0})
-        rec["count"] = int(rec.get("count", 0)) + 1
-        rec["reason"] = str(reason)[:200]
-        telemetry.incr("guard.plan_failures")
-        if (not rec.get("quarantined")
-                and rec["count"] >= QUARANTINE_THRESHOLD):
-            rec["quarantined"] = True
-            telemetry.incr("guard.quarantines")
-            _log.warning(
-                "plan [%s] quarantined for %dx%dx%d %s after %d "
-                "failure(s): %s", plan.describe(), m, k, n, dtype,
-                rec["count"], rec["reason"])
-            return True
-        return False
+        with self._lock:
+            self._ensure()
+            key = self._ledger_key(m, k, n, dtype, threads, plan, batch)
+            rec = self._failures.setdefault(
+                key, {"count": 0, "quarantined": False, "skips": 0})
+            rec["count"] = int(rec.get("count", 0)) + 1
+            rec["reason"] = str(reason)[:200]
+            telemetry.incr("guard.plan_failures")
+            if (not rec.get("quarantined")
+                    and rec["count"] >= QUARANTINE_THRESHOLD):
+                rec["quarantined"] = True
+                telemetry.incr("guard.quarantines")
+                _log.warning(
+                    "plan [%s] quarantined for %dx%dx%d %s after %d "
+                    "failure(s): %s", plan.describe(), m, k, n, dtype,
+                    rec["count"], rec["reason"])
+                return True
+            return False
 
     def record_success(self, m: int, k: int, n: int, dtype: str,
                        threads: int, plan: Plan,
                        batch: int | None = None) -> None:
         """A clean guarded execution rehabilitates the key: the ledger
         entry (and any quarantine) is dropped entirely."""
-        if not self._failures:
-            return
-        key = self._ledger_key(m, k, n, dtype, threads, plan, batch)
-        if self._failures.pop(key, None) is not None:
-            telemetry.incr("guard.rehabilitations")
+        with self._lock:
+            if not self._failures:
+                return
+            key = self._ledger_key(m, k, n, dtype, threads, plan, batch)
+            if self._failures.pop(key, None) is not None:
+                telemetry.incr("guard.rehabilitations")
 
     def plan_quarantined(self, m: int, k: int, n: int, dtype: str,
                          threads: int, plan: Plan,
@@ -393,70 +411,79 @@ class PlanCache:
         through once as a bounded retry probe (skips are tallied in the
         ledger, so backoff state persists with it).
         """
-        if not self._failures:
-            return False
-        rec = self._failures.get(
-            self._ledger_key(m, k, n, dtype, threads, plan, batch))
-        if rec is None or not rec.get("quarantined"):
-            return False
-        skips = int(rec.get("skips", 0)) + 1
-        rec["skips"] = skips
-        if skips % QUARANTINE_PROBE_EVERY == 0:
-            telemetry.incr("guard.quarantine_probes")
-            return False
-        telemetry.incr("guard.quarantine_skips")
-        return True
+        with self._lock:
+            if not self._failures:
+                return False
+            rec = self._failures.get(
+                self._ledger_key(m, k, n, dtype, threads, plan, batch))
+            if rec is None or not rec.get("quarantined"):
+                return False
+            skips = int(rec.get("skips", 0)) + 1
+            rec["skips"] = skips
+            if skips % QUARANTINE_PROBE_EVERY == 0:
+                telemetry.incr("guard.quarantine_probes")
+                return False
+            telemetry.incr("guard.quarantine_skips")
+            return True
 
     def failure_ledger(self) -> dict[str, dict]:
         """A copy of the raw failure ledger (reporting/doctor tools)."""
-        self._ensure()
-        return {k: dict(v) for k, v in sorted(self._failures.items())}
+        with self._lock:
+            self._ensure()
+            return {k: dict(v) for k, v in sorted(self._failures.items())}
 
     def quarantined_keys(self) -> list[str]:
-        self._ensure()
-        return sorted(k for k, v in self._failures.items()
-                      if v.get("quarantined"))
+        with self._lock:
+            self._ensure()
+            return sorted(k for k, v in self._failures.items()
+                          if v.get("quarantined"))
 
     def clear_failures(self) -> int:
         """Drop the whole ledger; returns how many keys it held."""
-        self._ensure()
-        n = len(self._failures)
-        self._failures = {}
-        return n
+        with self._lock:
+            self._ensure()
+            n = len(self._failures)
+            self._failures = {}
+            return n
 
     def drop(self, key: str) -> bool:
         """Remove one entry by raw key (doctor/repair tools)."""
-        self._ensure()
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            self._ensure()
+            return self._entries.pop(key, None) is not None
 
     # -------------------------------------------------------------- access
     def __len__(self) -> int:
-        self._ensure()
-        return len(self._entries)
+        with self._lock:
+            self._ensure()
+            return len(self._entries)
 
     def keys(self) -> list[str]:
-        self._ensure()
-        return sorted(self._entries)
+        with self._lock:
+            self._ensure()
+            return sorted(self._entries)
 
     def items(self) -> list[tuple[str, dict]]:
         """All raw entries (including stale ones), sorted by key."""
-        self._ensure()
-        return sorted(self._entries.items())
+        with self._lock:
+            self._ensure()
+            return sorted(self._entries.items())
 
     def get(self, m: int, k: int, n: int, dtype: str = "float64",
             threads: int = 1) -> Plan | None:
         """Exact-key lookup; stale (foreign-fingerprint) entries miss."""
-        self._ensure()
-        ent = self._entries.get(problem_key(m, k, n, dtype, threads))
-        if ent is None or not self._fresh(ent):
-            return None
-        try:
-            plan = Plan.from_dict(ent["plan"])
-        except (KeyError, TypeError, ValueError):
-            return None
-        if self.plan_quarantined(m, k, n, dtype, threads, plan):
-            return None
-        return plan
+        with self._lock:
+            self._ensure()
+            ent = self._entries.get(problem_key(m, k, n, dtype, threads))
+            if ent is None or not self._fresh(ent):
+                return None
+            try:
+                plan = Plan.from_dict(ent["plan"])
+            except (KeyError, TypeError, ValueError):
+                return None
+            if self.plan_quarantined(m, k, n, dtype, threads, plan):
+                return None
+            return plan
 
     def entry(self, m: int, k: int, n: int, dtype: str = "float64",
               threads: int = 1) -> dict | None:
@@ -466,8 +493,9 @@ class PlanCache:
         want the dispatch contract should use ``get``); reporting tools
         inspect the ``fingerprint`` field themselves.
         """
-        self._ensure()
-        return self._entries.get(problem_key(m, k, n, dtype, threads))
+        with self._lock:
+            self._ensure()
+            return self._entries.get(problem_key(m, k, n, dtype, threads))
 
     def put(self, m: int, k: int, n: int, dtype: str, threads: int,
             plan: Plan, seconds: float | None = None,
@@ -476,15 +504,16 @@ class PlanCache:
         records the scheme and sub-group P' it was tuned with as explicit
         top-level fields -- ``cache show`` and external tooling read the
         parallel configuration without decoding the plan."""
-        self._ensure()
-        self._entries[problem_key(m, k, n, dtype, threads)] = {
-            "plan": plan.to_dict(),
-            "scheme": plan.scheme,
-            "subgroup": plan.subgroup,
-            "seconds": seconds,
-            "gflops": gflops,
-            "fingerprint": self.fingerprint,
-        }
+        with self._lock:
+            self._ensure()
+            self._entries[problem_key(m, k, n, dtype, threads)] = {
+                "plan": plan.to_dict(),
+                "scheme": plan.scheme,
+                "subgroup": plan.subgroup,
+                "seconds": seconds,
+                "gflops": gflops,
+                "fingerprint": self.fingerprint,
+            }
 
     def put_batched(self, m: int, k: int, n: int, dtype: str, threads: int,
                     batch: int, bplan: BatchPlan,
@@ -498,18 +527,19 @@ class PlanCache:
         under :func:`batched_key` keys, so plain per-call entries (old and
         new) are untouched and stay valid.
         """
-        self._ensure()
-        plan = bplan.plan
-        self._entries[batched_key(m, k, n, dtype, threads, batch)] = {
-            "plan": plan.to_dict(),
-            "scheme": plan.scheme,
-            "subgroup": plan.subgroup,
-            "batch": bplan.mode,
-            "workers": bplan.workers,
-            "seconds": seconds,
-            "gflops": gflops,
-            "fingerprint": self.fingerprint,
-        }
+        with self._lock:
+            self._ensure()
+            plan = bplan.plan
+            self._entries[batched_key(m, k, n, dtype, threads, batch)] = {
+                "plan": plan.to_dict(),
+                "scheme": plan.scheme,
+                "subgroup": plan.subgroup,
+                "batch": bplan.mode,
+                "workers": bplan.workers,
+                "seconds": seconds,
+                "gflops": gflops,
+                "fingerprint": self.fingerprint,
+            }
 
     def get_batched(self, m: int, k: int, n: int, dtype: str, threads: int,
                     batch: int) -> BatchPlan | None:
@@ -518,6 +548,10 @@ class PlanCache:
         modes are regime plateaus in ``b`` just as plans are in shape;
         ties break toward the smaller batch for determinism).  Stale
         entries miss, like :meth:`get`."""
+        with self._lock:
+            return self._get_batched_locked(m, k, n, dtype, threads, batch)
+
+    def _get_batched_locked(self, m, k, n, dtype, threads, batch):
         self._ensure()
         prefix = problem_key(m, k, n, dtype, threads) + ":b"
         candidates = []
@@ -572,6 +606,12 @@ class PlanCache:
         lexicographically smallest key no matter what order the cache file
         listed them in -- identical calls pick identical plans.
         """
+        with self._lock:
+            return self._nearest_locked(m, k, n, dtype, threads, radius,
+                                        cross_thread)
+
+    def _nearest_locked(self, m, k, n, dtype, threads, radius,
+                        cross_thread) -> Plan | None:
         self._ensure()
         best_exact, d_exact = None, radius
         best_cross, d_cross = None, radius
@@ -613,9 +653,10 @@ class PlanCache:
     # -------------------------------------------------------- invalidation
     def stale_keys(self) -> list[str]:
         """Keys whose entries were tuned under a different fingerprint."""
-        self._ensure()
-        return sorted(k for k, v in self._entries.items()
-                      if not self._fresh(v))
+        with self._lock:
+            self._ensure()
+            return sorted(k for k, v in self._entries.items()
+                          if not self._fresh(v))
 
     def invalidate(self, stale_only: bool = True) -> list[str]:
         """Drop stale entries (or, with ``stale_only=False``, everything).
@@ -625,14 +666,16 @@ class PlanCache:
         done on *this* machine is never thrown away by an invalidation
         sweep.
         """
-        self._ensure()
-        doomed = (self.stale_keys() if stale_only
-                  else sorted(self._entries))
-        for key in doomed:
-            del self._entries[key]
-        return doomed
+        with self._lock:
+            self._ensure()
+            doomed = (self.stale_keys() if stale_only
+                      else sorted(self._entries))
+            for key in doomed:
+                del self._entries[key]
+            return doomed
 
     def clear(self) -> None:
-        self._entries = {}
-        self._failures = {}
-        self._loaded = True
+        with self._lock:
+            self._entries = {}
+            self._failures = {}
+            self._loaded = True

@@ -89,23 +89,28 @@ _workspaces: "OrderedDict[tuple, Workspace]" = OrderedDict()
 #: checked without the dispatch lock.
 _overflow_warned: set[tuple] = set()
 _pools: dict[int, WorkerPool] = {}
-#: guards _workspaces/_pools mutation -- concurrent dispatchers are a
-#: supported pattern (arenas are thread-keyed), so the bookkeeping around
-#: them must not race
+#: guards _workspaces/_pools/_default_cache mutation -- concurrent
+#: dispatchers are a supported pattern (arenas are thread-keyed), so the
+#: bookkeeping around them must not race
 _dispatch_lock = threading.Lock()
 
 
 def _shared_cache() -> PlanCache:
     global _default_cache
     if _default_cache is None:
-        _default_cache = PlanCache()
+        # double-checked: without the lock two racing first dispatches
+        # would build two caches and split the tuner's memory of plans
+        with _dispatch_lock:
+            if _default_cache is None:
+                _default_cache = PlanCache()
     return _default_cache
 
 
 def reset_shared_cache() -> None:
     """Forget the process-wide cache object (tests; after env changes)."""
     global _default_cache
-    _default_cache = None
+    with _dispatch_lock:
+        _default_cache = None
 
 
 def reset_workspaces() -> None:
@@ -479,7 +484,7 @@ def matmul(
     tune: str | TuningPolicy = "never",
     pool: WorkerPool | None = None,
     out: np.ndarray | None = None,
-    guard=None,
+    guard: bool | float | str | _guard_chain.GuardConfig | None = None,
 ) -> np.ndarray:
     """Multiply ``A @ B``, choosing the algorithm automatically.
 

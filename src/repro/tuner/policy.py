@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 import statistics
+import threading
 import time
 import zlib
 
@@ -400,13 +401,19 @@ POLICIES: dict[str, type[TuningPolicy]] = {
 
 _shared: dict[str, TuningPolicy] = {}
 
+#: guards POLICIES/_shared -- policy singletons carry online tuning state,
+#: so a racing double-construction would silently fork (and then lose)
+#: half the accumulated observations
+_policy_lock = threading.Lock()
+
 
 def register_policy(name: str, cls: type[TuningPolicy]) -> None:
     """Add (or override) a named policy usable as ``matmul(tune=name)``."""
     if not isinstance(cls, type) or not issubclass(cls, TuningPolicy):
         raise TypeError(f"{cls!r} is not a TuningPolicy subclass")
-    POLICIES[name] = cls
-    _shared.pop(name, None)
+    with _policy_lock:
+        POLICIES[name] = cls
+        _shared.pop(name, None)
 
 
 def get_policy(spec: str | TuningPolicy, **kwargs) -> TuningPolicy:
@@ -428,14 +435,16 @@ def get_policy(spec: str | TuningPolicy, **kwargs) -> TuningPolicy:
         ) from None
     if kwargs:
         return cls(**kwargs)
-    if spec not in _shared:
-        _shared[spec] = cls()
-    return _shared[spec]
+    with _policy_lock:
+        if spec not in _shared:
+            _shared[spec] = cls()
+        return _shared[spec]
 
 
 def reset_shared_policies() -> None:
     """Drop the process-shared policy instances (tests; config changes)."""
-    _shared.clear()
+    with _policy_lock:
+        _shared.clear()
 
 
 # UCB rides the same pluggable-registration path third-party policies use

@@ -1,0 +1,297 @@
+"""The static-analysis suite (repro.analyze) -- golden runs and mutation tests.
+
+The analyzers are only trustworthy if they are *sensitive*: a checker
+that passes everything is indistinguishable from one that checks
+nothing.  So alongside the golden all-clean sweeps, every analyzer is
+fed a deliberately corrupted artifact -- a flipped coefficient, swapped
+multiply operands, a leaked arena view, a dropped release, an unlocked
+mutation, a corrupted catalog entry -- and must report the exact finding
+code the corruption deserves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from conftest import run_cli
+from repro import analyze
+from repro.algorithms import get_algorithm
+from repro.analyze import arena, catalog, concurrency, symbolic
+from repro.analyze.base import Finding, has_code
+from repro.codegen.generator import generate_source
+from repro.codegen.strategies import EMISSION_CONTRACT, STRATEGIES
+
+
+def _source(alg_name="strassen", strategy="write_once", cse=False):
+    return generate_source(get_algorithm(alg_name), strategy=strategy, cse=cse)
+
+
+# ---------------------------------------------------------------- findings
+def test_finding_str_and_dict():
+    f = Finding("symbolic", "SYM-TENSOR", "strassen/write_once",
+                "coefficient mismatch", {"worst": 1.0})
+    assert str(f) == "[symbolic:SYM-TENSOR] strassen/write_once: coefficient mismatch"
+    d = f.to_dict()
+    assert d["code"] == "SYM-TENSOR" and d["detail"] == {"worst": 1.0}
+    assert has_code([f], "SYM-TENSOR") and not has_code([f], "SYM-RANK")
+
+
+# ---------------------------------------------------------------- golden
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("cse", [False, True])
+def test_symbolic_golden_strassen(strategy, cse):
+    findings = symbolic.verify_algorithm("strassen", strategy, cse)
+    assert findings == []
+
+
+@pytest.mark.parametrize("name", ["winograd", "s333", "bini322"])
+def test_symbolic_golden_other_entries(name):
+    # one exact high-rank entry, one <3,3,3>, one APA -- the APA case
+    # proves the verifier checks against the entry's own [U,V,W], not
+    # against the exact matmul tensor (APA schemes differ from it by
+    # design)
+    assert symbolic.verify_algorithm(name, "write_once", False) == []
+
+
+def test_symbolic_rejects_scheme_metadata_drift():
+    src = _source()
+    # stale fingerprint: the module claims provenance it does not have
+    mut = re.sub(r"'fingerprint': '[0-9a-f]+'", "'fingerprint': 'deadbeef'", src)
+    assert mut != src
+    findings = symbolic.verify_source(mut, where="mut")
+    assert has_code(findings, "SYM-META")
+
+
+def test_arena_golden_strassen():
+    src = _source()
+    alg = get_algorithm("strassen")
+    assert arena.check_core_ws(src, algorithm=alg, strategy="write_once",
+                               cse=False, where="golden") == []
+
+
+def test_arena_tree_sweep_clean():
+    checked, findings = arena.check_tree()
+    assert checked > 100  # every function in src/repro is swept
+    assert findings == []
+
+
+def test_concurrency_tree_sweep_clean():
+    checked, findings = concurrency.check_tree()
+    assert checked >= len(concurrency.REGISTRY)
+    assert findings == []
+
+
+def test_catalog_golden():
+    checked, findings = catalog.check_catalog()
+    assert checked >= 15
+    assert findings == []
+
+
+# ---------------------------------------------------------------- mutations
+def test_mutation_flipped_coefficient_is_detected():
+    src = _source()
+    site = re.search(r"np\.add\((S\d+), (A\d+), out=\1\)", src).group(0)
+    mut = src.replace(site, site.replace("np.add", "np.subtract"), 1)
+    findings = symbolic.verify_source(mut, where="mut")
+    assert has_code(findings, "SYM-TENSOR")
+
+
+def test_mutation_swapped_operands_is_detected():
+    src = _source()
+    m = re.search(r"_run\((S\d+), (T\d+), ", src)
+    mut = src.replace(m.group(0), f"_run({m.group(2)}, {m.group(1)}, ", 1)
+    findings = symbolic.verify_source(mut, where="mut")
+    assert has_code(findings, "SYM-OPERANDS")
+
+
+def test_mutation_dropped_release_is_detected():
+    src = _source()
+    alg = get_algorithm("strassen")
+    release = re.findall(r"\n(\s*ws\.release\(\w+\)\n)", src)[-1]
+    mut = src.replace(release, "\n", 1)
+    findings = arena.check_core_ws(mut, algorithm=alg, strategy="write_once",
+                                   cse=False, where="mut")
+    assert has_code(findings, "ARENA-UNRELEASED")
+
+
+def test_mutation_read_after_release_is_detected():
+    src = _source()
+    alg = get_algorithm("strassen")
+    lines = src.splitlines()
+    for i, ln in enumerate(lines):
+        rel = re.match(r"(\s*)ws\.release\((\w+)\)", ln)
+        if not rel:
+            continue
+        for j in range(i - 1, -1, -1):
+            taken = re.match(r"\s*(\w+) = ws\.take\(", lines[j])
+            if taken:
+                # a view of released memory flows into the output block
+                lines.insert(i + 1,
+                             f"{rel.group(1)}np.copyto(C0, {taken.group(1)})")
+                break
+        else:
+            continue
+        break
+    mut = "\n".join(lines)
+    assert mut != src
+    findings = arena.check_core_ws(mut, algorithm=alg, strategy="write_once",
+                                   cse=False, where="mut")
+    assert has_code(findings, "ARENA-ESCAPE")
+
+
+_UNLOCKED_MODULE = """
+import threading
+_lock = threading.Lock()
+_entries = {}
+
+def put(key, value):
+    _entries[key] = value
+
+def put_locked(key, value):
+    _entries[key] = value
+
+def put_guarded(key, value):
+    with _lock:
+        _entries[key] = value
+"""
+
+
+def test_mutation_unlocked_mutation_is_detected():
+    states = (concurrency.SharedState("fake.mod", "_entries", "_lock", "test"),)
+    checked, findings = concurrency.check_module_source(
+        _UNLOCKED_MODULE, states, where="fake.mod")
+    # three mutation sites; only the one outside a lock / *_locked helper
+    # may fire
+    assert checked == 3
+    assert [f.code for f in findings] == ["CONC-UNLOCKED"]
+    assert findings[0].where == "fake.mod:7"
+
+
+def test_mutation_corrupted_scheme_is_detected():
+    alg = get_algorithm("strassen")
+    U = alg.U.copy()
+    U[0, 0] += 1.0
+    bad = dataclasses.replace(alg, U=U)
+    findings = catalog.check_algorithm(bad, where="mut")
+    assert has_code(findings, "CAT-RESIDUAL")
+
+
+def test_mutation_wrong_shape_is_detected():
+    # FastAlgorithm's constructor validates shapes eagerly, so the broken
+    # entry is a duck type -- exactly what a corrupted on-disk payload
+    # that bypassed the constructor would look like
+    import types
+
+    alg = get_algorithm("strassen")
+    bad = types.SimpleNamespace(
+        name="mut", m=alg.m, k=alg.k, n=alg.n, rank=alg.rank, apa=False,
+        U=np.zeros((3, alg.rank)), V=alg.V, W=alg.W)
+    findings = catalog.check_algorithm(bad, where="mut")
+    assert has_code(findings, "CAT-SHAPE")
+
+
+# ---------------------------------------------------------------- facade
+def test_run_dispatches_and_counts():
+    checked, findings = analyze.run("catalog")
+    assert checked >= 15 and findings == []
+    with pytest.raises(ValueError):
+        analyze.run("nonesuch")
+
+
+def test_emission_contract_covers_all_strategies():
+    assert set(EMISSION_CONTRACT) == set(STRATEGIES)
+    # the arena-backed lowerings draw from the workspace, never the heap
+    assert "ws.take" in EMISSION_CONTRACT["write_once"]
+    assert "ws.take" in EMISSION_CONTRACT["streaming"]
+
+
+def test_scheme_metadata_in_generated_modules():
+    src = _source("winograd", "streaming", True)
+    ns: dict = {}
+    exec(compile(src, "<gen>", "exec"), ns)  # noqa: S102 -- generated by us
+    meta = ns["_SCHEME"]
+    assert meta["algorithm"] == "winograd"
+    assert meta["base_case"] == (2, 2, 2)
+    assert meta["strategy"] == "streaming" and meta["cse"] is True
+    assert meta["rank"] == ns["RANK"]
+    assert re.fullmatch(r"[0-9a-f]{12,64}", meta["fingerprint"])
+
+
+# ---------------------------------------------------------------- cli
+def test_cli_analyze_selected_passes():
+    rc, out = run_cli("analyze", "--catalog", "--concurrency")
+    assert rc == 0
+    assert "catalog" in out and "clean" in out
+
+
+def test_cli_analyze_json_shape():
+    rc, out = run_cli("analyze", "--symbolic", "--arena",
+                      "-a", "strassen", "--json")
+    assert rc == 0
+    payload = json.loads(out)
+    assert payload["analyzers"] == ["symbolic", "arena"]
+    assert payload["findings"] == []
+    assert payload["checked"] > 0
+
+
+# ------------------------------------------------------- lock regressions
+def test_plan_cache_concurrent_mutation(tmp_path):
+    # regression for the unlocked PlanCache the concurrency lint caught:
+    # hammer one cache from several threads; without the RLock this
+    # corrupts the entry dict / failure ledger
+    from repro.tuner.cache import PlanCache
+    from repro.tuner.space import Plan
+
+    cache = PlanCache(tmp_path / "plans.json")
+    plan = Plan(algorithm="strassen", steps=1, strategy="write_once",
+                scheme="sequential", threads=1)
+    errors = []
+
+    def worker(tid):
+        try:
+            for i in range(50):
+                cache.put(64 + tid, 64, 64 + i % 7, "float64", 1, plan, 0.001)
+                cache.get(64 + tid, 64, 64 + i % 7, "float64", 1)
+                cache.record_failure(64 + tid, 64, 64, "float64", 1,
+                                     plan, RuntimeError("x"))
+                cache.plan_quarantined(64 + tid, 64, 64, "float64", 1, plan)
+                cache.keys()
+                cache.save()
+        except Exception as exc:  # noqa: BLE001 -- the assertion is "no exception"
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    cache2 = PlanCache(tmp_path / "plans.json")
+    assert len(cache2) > 0  # the file survived concurrent saves
+
+
+def test_shared_cache_single_instance_under_race():
+    # regression for the unlocked lazy init in dispatch._shared_cache
+    from repro.tuner import dispatch
+
+    dispatch.reset_shared_cache()
+    found = []
+    barrier = threading.Barrier(4)
+
+    def worker():
+        barrier.wait()
+        found.append(dispatch._shared_cache())
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len({id(c) for c in found}) == 1
+    dispatch.reset_shared_cache()

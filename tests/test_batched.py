@@ -44,7 +44,6 @@ from repro.tuner import (
     reset_workspaces,
 )
 from repro.tuner.cache import problem_key
-from repro.util.matrices import random_matrix
 
 LARGE = 1 << 20  # the warm-path "large allocation" threshold
 

@@ -3,11 +3,10 @@
 import subprocess
 import sys
 
-import numpy as np
 import pytest
 from conftest import run_cli
 
-from repro.cli import _build_parser, main
+from repro.cli import main
 
 
 class TestList:

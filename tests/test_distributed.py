@@ -1,7 +1,6 @@
 """Tests for the distributed-memory communication simulator
 (repro.distributed, the paper's Section-6 extension)."""
 
-import math
 
 import pytest
 

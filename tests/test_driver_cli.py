@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.core.algorithm import FastAlgorithm
 from repro.search.driver import main

@@ -21,7 +21,6 @@ from repro.guard import chain, faults
 from repro.guard.chain import (
     GUARD_DEFAULT,
     GuardConfig,
-    NumericViolation,
     WatchdogTimeout,
     check_product,
     resolve_guard,

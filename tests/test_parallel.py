@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.parallel import blas
-from repro.parallel.add import StreamResult, measure_stream, stream_triad
+from repro.parallel.add import measure_stream, stream_triad
 from repro.parallel.gemm import dgemm, tiled_gemm
 from repro.parallel.pool import (
     WorkerPool,

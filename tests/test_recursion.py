@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms import classical, get_algorithm, strassen
+from repro.algorithms import get_algorithm, strassen
 from repro.core.recursion import (
     CutoffPolicy,
     combine_blocks,

@@ -1,7 +1,6 @@
 """Tests for the ALS search pipeline (repro.search)."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms import strassen
 from repro.core import tensor as tz

@@ -12,7 +12,7 @@ from repro import tuner
 from repro.core.cost import estimate_recursive_flops, plan_cost
 from repro.algorithms import get_algorithm
 from repro.tuner.cache import PlanCache, problem_key
-from repro.tuner.space import DGEMM, Plan
+from repro.tuner.space import Plan
 from repro.util.matrices import random_matrix
 
 

@@ -1,11 +1,15 @@
 """repro.analyze: static analysis over generated kernels and the source tree.
 
-Four passes, each importable and driven by ``repro analyze``:
+Five passes, each importable and driven by ``repro analyze``:
 
 - :mod:`repro.analyze.symbolic` -- abstractly interprets every generated
   module's ``_core``/``_core_ws`` and proves the recovered bilinear form
   equals the catalog ``[U,V,W]`` scheme, coefficient by coefficient,
   without executing a multiply;
+- :mod:`repro.analyze.cemit` -- the same proof for the C chain emitter:
+  parses the ``form_S``/``form_T``/``form_C`` translation units back into
+  coefficient tables and compares the recovered tensor against the
+  scheme, with no compiler in the loop;
 - :mod:`repro.analyze.arena` -- checks the arena discipline of generated
   code (balanced ``mark``/``release``, no view read after its scope is
   released, static take totals within ``codegen_footprint``) and the
@@ -27,7 +31,7 @@ from __future__ import annotations
 
 from repro.analyze.base import Finding, has_code
 
-ANALYZERS = ("symbolic", "arena", "concurrency", "catalog")
+ANALYZERS = ("symbolic", "cemit", "arena", "concurrency", "catalog")
 
 __all__ = ["ANALYZERS", "Finding", "has_code", "run", "run_all"]
 
@@ -46,6 +50,11 @@ def run(analyzer: str, **kwargs) -> tuple[int, list[Finding]]:
 
         with obs.span("analyze.symbolic"):
             checked, findings = verify_catalog(**kwargs)
+    elif analyzer == "cemit":
+        from repro.analyze.cemit import verify_catalog as verify_cemit
+
+        with obs.span("analyze.cemit"):
+            checked, findings = verify_cemit(**kwargs)
     elif analyzer == "arena":
         from repro.analyze.arena import check_catalog_arena, check_tree
 

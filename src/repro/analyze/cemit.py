@@ -1,0 +1,369 @@
+"""C emission verifier: prove the native chain kernels match their scheme.
+
+The C backend (:mod:`repro.codegen.cbackend`) emits three fused kernels
+per algorithm -- ``form_S``, ``form_T``, ``form_C`` -- as flat C source.
+The Python-side symbolic pass (:mod:`repro.analyze.symbolic`) cannot see
+them, so a sign flipped in the C emitter would only surface as a numeric
+test failure.  This pass closes that gap the same way: it parses the
+emitted translation unit back into coefficient vectors over the input
+blocks (``form_S``/``form_T``) and over the rank-R products (``form_C``),
+resolves CSE definitions in emission order, grafts the zero-traffic alias
+columns back in from the driver's ``_prepare`` layout (the C source never
+materializes them -- the ctypes driver passes block views directly), and
+compares the recovered bilinear tensor
+
+    sum_r  U_hat[:, r] x V_hat[:, r] x W_hat[:, r]
+
+coefficient-by-coefficient against the catalog ``[U, V, W]`` scheme.
+No compiler is involved: emission is pure string generation, so the pass
+runs (and proves) on hosts with no C toolchain at all.
+
+Every statement must match one of the emitter's declared forms
+(``EMISSION_CONTRACT["cbackend"]``: ``block_ptr``, ``slab_ptr``,
+``product_ptr``, ``scratch_ptr``, ``output_ptr``, ``fused_store``) --
+anything else is a finding, never silently skipped.
+
+Finding codes: ``CEMIT-PARSE`` (statement outside the contract),
+``CEMIT-HEADER`` (provenance header disagrees with the algorithm),
+``CEMIT-BLOCK`` (block pointer offsets disagree with its index),
+``CEMIT-UNINIT`` (store reads a slab row before it is written),
+``CEMIT-LAYOUT`` (slab row in C disagrees with the driver layout),
+``CEMIT-RANK`` (``form_C`` consumes != rank products),
+``CEMIT-CBLOCK`` (an output block is never written),
+``CEMIT-TENSOR`` (recovered bilinear form differs from the scheme).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.analyze.base import Finding
+
+#: relative tolerance of the tensor comparison -- coefficients round-trip
+#: through ``repr(float)`` so anything beyond float noise is emitter drift
+TENSOR_RTOL = 1e-8
+
+_RE_HEADER = re.compile(
+    r" \* algorithm (\S+) <(\d+),(\d+),(\d+)> rank (\d+), cse=(True|False)")
+_RE_FN = re.compile(r"void (form_[STC])\(")
+_RE_BLOCK = re.compile(
+    r"const double \*p([AB])(\d+) = X \+ \(\(size_t\)\((\d+)\*bp \+ i\)\)"
+    r"\*ldx \+ \(size_t\)\((\d+)\)\*bq;")
+_RE_SLAB = re.compile(
+    r"double \*p(\w+) = S \+ (\d+)\*blk \+ \(size_t\)i\*bq;")
+_RE_PRODUCT = re.compile(
+    r"const double \*p(M)(\d+) = M\[(\d+)\] \+ \(size_t\)i\*bq;")
+_RE_SCRATCH = re.compile(r"double \*p(\w+) = Y \+ (\d+)\*bq;")
+_RE_OUTPUT = re.compile(
+    r"double \*pC(\d+) = C \+ \(\(size_t\)\((\d+)\*bp \+ i\)\)\*ldc"
+    r" \+ \(size_t\)\((\d+)\)\*bq;")
+_RE_STORE = re.compile(r"p(\w+)\[j\] = (.+);$")
+_RE_TERM = re.compile(
+    r"([+-]) (?:(-?[0-9][0-9.eE+-]*) \* )?p([A-Za-z]+\d+)\[j\]")
+
+#: statement-free lines the parser passes over without a contract match
+_BOILERPLATE = (
+    "{", "}", "(void)Y;",
+    "const size_t blk = (size_t)bp * (size_t)bq;",
+    "for (long i = 0; i < bp; ++i) {",
+    "#include <stddef.h>",
+)
+
+
+def _parse_rhs(rhs: str) -> list[tuple[float, str]] | None:
+    """``pA0[j] - 0.5 * pYA1[j]`` -> ``[(1.0, "A0"), (-0.5, "YA1")]``.
+
+    Returns ``None`` when any character falls outside the emitter's term
+    grammar -- the caller turns that into a loud finding.
+    """
+    s = rhs if rhs.startswith(("+ ", "- ")) else "+ " + rhs
+    pos, terms = 0, []
+    while pos < len(s):
+        m = _RE_TERM.match(s, pos)
+        if m is None:
+            return None
+        sign, coeff, src = m.groups()
+        c = float(coeff) if coeff is not None else 1.0
+        terms.append((c if sign == "+" else -c, src))
+        pos = m.end()
+        if pos < len(s):
+            if s[pos] != " ":
+                return None
+            pos += 1
+    return terms
+
+
+class _Kernel:
+    """The parsed state of one ``form_*`` function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: pointer name (sans ``p``) -> coefficient vector, or ``None``
+        #: for declared-but-unwritten slab/scratch/output rows
+        self.env: dict[str, np.ndarray | None] = {}
+        self.slab_rows: dict[str, int] = {}      # target -> declared S row
+        self.block_of: dict[str, int] = {}       # pA3 -> 3 (checked)
+        self.out_block: dict[str, int] = {}      # C target -> output block
+        self.products: dict[str, int] = {}       # M target -> product index
+        self.stored: list[str] = []              # store order
+
+
+def _parse_unit(source: str, nblocks: dict[str, int],
+                where: str) -> tuple[dict[str, _Kernel], dict, list[Finding]]:
+    """One pass over the translation unit; returns the three kernels, the
+    provenance header fields, and the parse findings."""
+    findings: list[Finding] = []
+    kernels: dict[str, _Kernel] = {}
+    header: dict = {}
+    current: _Kernel | None = None
+    pending_store = False
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.strip()
+        loc = f"{where}:{lineno}"
+        if not line or line.startswith(("/*", "*", "*/")):
+            m = _RE_HEADER.match(raw)
+            if m:
+                header = {
+                    "algorithm": m.group(1),
+                    "base_case": tuple(int(m.group(i)) for i in (2, 3, 4)),
+                    "rank": int(m.group(5)),
+                    "cse": m.group(6) == "True",
+                }
+            continue
+        m = _RE_FN.match(line)
+        if m:
+            current = _Kernel(m.group(1))
+            kernels[current.name] = current
+            pending_store = False
+            continue
+        if line in _BOILERPLATE:
+            continue
+        if current is None:
+            findings.append(Finding(
+                "cemit", "CEMIT-PARSE", loc,
+                f"statement outside any kernel: {line!r}"))
+            continue
+        if pending_store:
+            pending_store = False
+            m = _RE_STORE.match(line)
+            if m is None:
+                findings.append(Finding(
+                    "cemit", "CEMIT-PARSE", loc,
+                    f"j-loop body is not a fused store: {line!r}"))
+                continue
+            target, rhs = m.groups()
+            terms = _parse_rhs(rhs)
+            if terms is None:
+                findings.append(Finding(
+                    "cemit", "CEMIT-PARSE", loc,
+                    f"store RHS outside the term grammar: {rhs!r}"))
+                continue
+            vec = None
+            for coeff, src in terms:
+                src_vec = current.env.get(src)
+                if src_vec is None:
+                    findings.append(Finding(
+                        "cemit", "CEMIT-UNINIT", loc,
+                        f"store of {target!r} reads {src!r} before any"
+                        " write reaches it"))
+                    break
+                vec = coeff * src_vec if vec is None else vec + coeff * src_vec
+            else:
+                if target not in current.env:
+                    findings.append(Finding(
+                        "cemit", "CEMIT-PARSE", loc,
+                        f"store targets undeclared pointer {target!r}"))
+                    continue
+                current.env[target] = vec
+                current.stored.append(target)
+            continue
+        if line.startswith("for (long j"):
+            pending_store = True
+            continue
+        m = _RE_BLOCK.match(line)
+        if m:
+            space, idx, brow, bcol = m.group(1), int(m.group(2)), \
+                int(m.group(3)), int(m.group(4))
+            cols = nblocks[f"{space}cols"]
+            if brow * cols + bcol != idx:
+                findings.append(Finding(
+                    "cemit", "CEMIT-BLOCK", loc,
+                    f"pointer p{space}{idx} addresses block"
+                    f" ({brow},{bcol}) = index {brow * cols + bcol}"))
+                continue
+            vec = np.zeros(nblocks[space])
+            vec[idx] = 1.0
+            current.env[f"{space}{idx}"] = vec
+            current.block_of[f"{space}{idx}"] = idx
+            continue
+        m = _RE_SLAB.match(line)
+        if m:
+            current.env.setdefault(m.group(1), None)
+            current.slab_rows[m.group(1)] = int(m.group(2))
+            continue
+        m = _RE_PRODUCT.match(line)
+        if m:
+            name, idx, row = f"M{m.group(2)}", int(m.group(2)), int(m.group(3))
+            if idx != row:
+                findings.append(Finding(
+                    "cemit", "CEMIT-BLOCK", loc,
+                    f"pointer p{name} reads product row {row}"))
+                continue
+            vec = np.zeros(nblocks["M"])
+            vec[idx] = 1.0
+            current.env[name] = vec
+            current.products[name] = idx
+            continue
+        m = _RE_SCRATCH.match(line)
+        if m:
+            current.env.setdefault(m.group(1), None)
+            continue
+        m = _RE_OUTPUT.match(line)
+        if m:
+            idx, bi, bj = (int(m.group(i)) for i in (1, 2, 3))
+            if bi * nblocks["Ccols"] + bj != idx:
+                findings.append(Finding(
+                    "cemit", "CEMIT-BLOCK", loc,
+                    f"pointer pC{idx} addresses output block ({bi},{bj})"
+                    f" = index {bi * nblocks['Ccols'] + bj}"))
+                continue
+            current.env.setdefault(f"C{idx}", None)
+            current.out_block[f"C{idx}"] = idx
+            continue
+        findings.append(Finding(
+            "cemit", "CEMIT-PARSE", loc,
+            f"statement outside the cbackend emission contract: {line!r}"))
+    return kernels, header, findings
+
+
+def _side_matrix(kernel: _Kernel | None, side: dict, nblocks: int,
+                 rank: int, where: str,
+                 findings: list[Finding]) -> np.ndarray | None:
+    """Recover the per-rank coefficient matrix (``nblocks x rank``) from a
+    parsed ``form_S``/``form_T`` plus the driver's slab layout."""
+    if kernel is None:
+        findings.append(Finding(
+            "cemit", "CEMIT-PARSE", where, "kernel missing from the unit"))
+        return None
+    mat = np.zeros((nblocks, rank))
+    for r, (ch, lay) in enumerate(zip(side["chains"], side["layout"])):
+        if lay[0] == "alias":
+            mat[lay[1], r] = ch.terms[0].coeff
+            continue
+        vec = kernel.env.get(ch.target)
+        if vec is None:
+            findings.append(Finding(
+                "cemit", "CEMIT-UNINIT", where,
+                f"{kernel.name} never writes slab column {ch.target!r}"))
+            return None
+        declared = kernel.slab_rows.get(ch.target)
+        if declared != lay[1]:
+            findings.append(Finding(
+                "cemit", "CEMIT-LAYOUT", where,
+                f"{kernel.name} places {ch.target!r} in slab row"
+                f" {declared}, driver layout expects row {lay[1]}"))
+            return None
+        mat[:, r] = vec
+    return mat
+
+
+def verify_source(source: str, algorithm, cse: bool,
+                  where: str = "<cbackend>") -> list[Finding]:
+    """Verify one emitted C translation unit against its scheme.
+
+    ``algorithm`` is the catalog :class:`FastAlgorithm` the unit was
+    generated from; ``cse`` must match the generation flag (the slab
+    layout depends on it).  Returns findings (empty == proven).
+    """
+    from repro.codegen.cbackend import _prepare
+
+    s, t, c = _prepare(algorithm, cse)
+    m, k, n = algorithm.base_case
+    rank = algorithm.rank
+    nblocks = {"A": m * k, "Acols": k, "B": k * n, "Bcols": n,
+               "M": rank, "Ccols": n}
+    kernels, header, findings = _parse_unit(source, nblocks, where)
+    if findings:
+        return findings
+    if header.get("algorithm") != algorithm.name or \
+            header.get("base_case") != (m, k, n) or \
+            header.get("rank") != rank or header.get("cse") != cse:
+        findings.append(Finding(
+            "cemit", "CEMIT-HEADER", where,
+            f"provenance header {header} disagrees with"
+            f" {algorithm.name} <{m},{k},{n}> rank {rank} cse={cse}"))
+        return findings
+    U_hat = _side_matrix(kernels.get("form_S"), s, m * k, rank,
+                         f"{where}.form_S", findings)
+    V_hat = _side_matrix(kernels.get("form_T"), t, k * n, rank,
+                         f"{where}.form_T", findings)
+    fc = kernels.get("form_C")
+    if fc is None:
+        findings.append(Finding(
+            "cemit", "CEMIT-PARSE", f"{where}.form_C",
+            "kernel missing from the unit"))
+    if findings:
+        return findings
+    if len(fc.products) != rank:
+        findings.append(Finding(
+            "cemit", "CEMIT-RANK", f"{where}.form_C",
+            f"form_C consumes {len(fc.products)} products, scheme rank"
+            f" is {rank}"))
+        return findings
+    W_hat = np.zeros((m * n, rank))
+    missing = []
+    for idx in range(m * n):
+        vec = fc.env.get(f"C{idx}")
+        if vec is None:
+            missing.append(idx)
+        else:
+            W_hat[idx] = vec
+    if missing:
+        findings.append(Finding(
+            "cemit", "CEMIT-CBLOCK", f"{where}.form_C",
+            f"output block(s) {missing} never written"))
+        return findings
+    T = np.einsum("ir,jr,kr->ijk", U_hat, V_hat, W_hat)
+    T_scheme = np.einsum("ir,jr,kr->ijk",
+                         algorithm.U, algorithm.V, algorithm.W)
+    scale = max(1.0, float(np.abs(T_scheme).max()))
+    err = np.abs(T - T_scheme)
+    worst = float(err.max())
+    if worst > TENSOR_RTOL * scale:
+        ia, ib, ic = np.unravel_index(int(err.argmax()), err.shape)
+        findings.append(Finding(
+            "cemit", "CEMIT-TENSOR", where,
+            "recovered bilinear form differs from the [U,V,W] scheme: "
+            f"T[A{ia},B{ib},C{ic}] = {T[ia, ib, ic]:g}, scheme says"
+            f" {T_scheme[ia, ib, ic]:g} (max |delta| = {worst:g})",
+            detail={"max_abs_error": worst}))
+    return findings
+
+
+def verify_algorithm(name_or_alg, cse: bool) -> list[Finding]:
+    """Emit and verify one catalog entry's C unit (no compiler needed)."""
+    from repro.algorithms.catalog import get_algorithm
+    from repro.codegen.cbackend import generate_c_source
+
+    alg = (get_algorithm(name_or_alg) if isinstance(name_or_alg, str)
+           else name_or_alg)
+    where = f"{alg.name}[cbackend,cse={cse}]"
+    return verify_source(generate_c_source(alg, cse), alg, cse, where=where)
+
+
+def verify_catalog(names=None,
+                   cse_options=(False, True)) -> tuple[int, list[Finding]]:
+    """Sweep every catalog entry x cse; returns ``(checked, findings)``."""
+    from repro.algorithms.catalog import list_algorithms
+
+    if names is None:
+        names = list_algorithms(include_apa=True)
+    findings: list[Finding] = []
+    checked = 0
+    for name in names:
+        for cse in cse_options:
+            findings.extend(verify_algorithm(name, cse))
+            checked += 1
+    return checked, findings

@@ -83,6 +83,13 @@ REGISTRY: tuple[SharedState, ...] = (
                 "fault-injection fire ledger"),
     SharedState("codegen/generator.py", "_MODULE_CACHE", "_compile_lock",
                 "generated-module cache"),
+    SharedState("codegen/cbackend.py", "_LIB_CACHE", "_lib_lock",
+                "loaded shared-library cache"),
+    SharedState("codegen/cbackend.py", "_CACHE_STATE", "_lib_lock",
+                "resolved on-disk cache dir + warn-once flag"),
+    SharedState("tuner/dispatch.py", "_cbackend_warned", None,
+                "once-per-algorithm fallback warning set; duplicate "
+                "warn is benign"),
 )
 
 #: Files whose arena-served functions get the allocation lint.

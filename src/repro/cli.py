@@ -75,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         "thread count; default: threads // 2)")
     p.add_argument("--native", action="store_true",
                    help="use the compiled C chain backend")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "numpy", "compiled"],
+                   help="serving backend: 'compiled' forces the native C "
+                        "chain kernels, 'numpy' the generated NumPy "
+                        "module; 'auto' (default) lets the tuner sweep "
+                        "both where the compiler is available")
     p.add_argument("--blas-threads", type=int, default=None,
                    help="pin the vendor BLAS thread count for both sides")
     p.add_argument("--seed", type=int, default=0)
@@ -175,6 +181,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="run every analyzer (default when none is selected)")
     for name, text in (
             ("symbolic", "prove every generated kernel computes its scheme"),
+            ("cemit", "prove the emitted C chain kernels compute their "
+                      "scheme (no compiler needed)"),
             ("arena", "mark/release scoping, escapes, footprint budgets"),
             ("concurrency", "unlocked shared-state mutation, hot-path "
                             "allocation"),
@@ -297,15 +305,29 @@ def cmd_multiply(args, out=sys.stdout) -> int:
             p, q, r, dtype=np.result_type(A, B).name,
             threads=args.threads, cache=cache,
         )
-        # dispatch through the real entry point (plan lookup, arena,
-        # pool and telemetry all included), so the printed numbers
-        # describe what repro.matmul actually does for this shape
-        fast = lambda: tuner.matmul(  # noqa: E731
-            A, B, threads=args.threads, cache=cache,
-            guard=True if args.guard else None)
-        label = (f"auto: {plan.describe()} [{source}]"
-                 + (" +guard" if args.guard else ""))
-    elif args.native:
+        if args.backend != "auto":
+            # forcing a backend bypasses plan re-resolution: retarget the
+            # resolved plan and execute it directly (arena included)
+            try:
+                plan = tuner.retarget_backend(plan, args.backend)
+            except ValueError as exc:
+                print(f"error: --backend {args.backend}: {exc}",
+                      file=sys.stderr)
+                return 2
+            ws = tuner.workspace_for(plan, p, q, r, A.dtype, B.dtype)
+            fast = lambda: tuner.execute_plan(  # noqa: E731
+                plan, A, B, workspace=ws)
+            label = f"auto: {plan.describe()} [forced {args.backend}]"
+        else:
+            # dispatch through the real entry point (plan lookup, arena,
+            # pool and telemetry all included), so the printed numbers
+            # describe what repro.matmul actually does for this shape
+            fast = lambda: tuner.matmul(  # noqa: E731
+                A, B, threads=args.threads, cache=cache,
+                guard=True if args.guard else None)
+            label = (f"auto: {plan.describe()} [{source}]"
+                     + (" +guard" if args.guard else ""))
+    elif args.native or args.backend == "compiled":
         from repro.codegen import cbackend
 
         cc = cbackend.compile_chains(args.algorithm)
@@ -409,12 +431,24 @@ def _explain(args, A, B, p: int, q: int, r: int, cache, out) -> int:
     for i, pl in enumerate(plans, 1):
         alg = None if pl.is_dgemm else get_algorithm(pl.algorithm)
         cost = plan_cost(alg, p, q, r, pl.steps, scheme=pl.scheme,
-                         threads=pl.threads, subgroup=pl.subgroup)
+                         threads=pl.threads, subgroup=pl.subgroup,
+                         backend=pl.backend)
         print(f"  #{i} {pl.describe():<40} cost {cost:.4g}", file=out)
 
     plan, source = tuner.get_plan(p, q, r, dtype=dtype, threads=threads,
                                   cache=cache)
+    if args.backend != "auto":
+        try:
+            plan = tuner.retarget_backend(plan, args.backend)
+        except ValueError as exc:
+            print(f"error: --backend {args.backend}: {exc}",
+                  file=sys.stderr)
+            return 2
+        source = f"{source}, backend forced"
     print(f"chosen plan: {plan.describe()}  [source: {source}]", file=out)
+    avail = ("available" if tuner.compiled_backend_available()
+             else "unavailable: no C toolchain")
+    print(f"backend: {plan.backend} (compiled chains {avail})", file=out)
     ws = tuner.workspace_for(plan, p, q, r, A.dtype, B.dtype)
     if ws is None:
         print("arena footprint: none (plain BLAS needs no workspace)",
@@ -422,8 +456,13 @@ def _explain(args, A, B, p: int, q: int, r: int, cache, out) -> int:
     else:
         print(f"arena footprint: {ws.nbytes:,} bytes", file=out)
 
-    C = tuner.matmul(A, B, threads=threads, cache=cache,
-                     guard=True if args.guard else None)
+    if args.backend != "auto":
+        # the forced-backend plan must be the one observed, so execute it
+        # directly instead of letting matmul re-resolve
+        C = tuner.execute_plan(plan, A, B, workspace=ws)
+    else:
+        C = tuner.matmul(A, B, threads=threads, cache=cache,
+                         guard=True if args.guard else None)
     err = float(np.linalg.norm(C - A @ B) / np.linalg.norm(A @ B))
     records = obs.dispatch_records()
     if records:
@@ -927,7 +966,8 @@ def cmd_analyze(args, out=sys.stdout) -> int:
     all_findings = []
     for name in selected:
         checked, findings = analyze.run(
-            name, **(kwargs if name in ("symbolic", "arena") else {}))
+            name, **(kwargs if name in ("symbolic", "cemit", "arena")
+                     else {}))
         total_checked += checked
         all_findings.extend(findings)
         if not args.json:

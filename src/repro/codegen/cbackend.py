@@ -6,11 +6,10 @@ the destination written once per pass, with no interpreter or temporary-
 array overhead.  The Python strategies in :mod:`repro.codegen.strategies`
 approximate that with NumPy ufuncs (one in-place pass *per operand pair*
 for ``write_once``).  This module closes the gap: it emits real C for the
-chains of one algorithm, compiles it with the system C compiler (cached
-by content hash under the system temp dir), and drives it through
-``ctypes`` — producing the genuine single-pass kernels the paper
-measures, while recursion, dynamic peeling and the leaf dgemm stay in
-Python/BLAS exactly as before.
+chains of one algorithm, compiles it with the system C compiler, and
+drives it through ``ctypes`` — producing the genuine single-pass kernels
+the paper measures, while recursion, dynamic peeling and the leaf dgemm
+stay in Python/BLAS exactly as before.
 
 Generated interface per algorithm (one shared object each)::
 
@@ -28,16 +27,33 @@ assembles the output blocks from an array of product-row pointers in one
 fused pass per block; ``Y`` is caller-provided scratch for C-side CSE
 definitions (NULL when there are none).
 
+Shared objects are cached on disk under ``$REPRO_CACHE_DIR/cbackend``
+(default ``~/.cache/repro/cbackend``), keyed by (source, compiler, flags,
+machine fingerprint) so a ``.so`` built with a different ``REPRO_CC``, a
+different flag set, or on another machine (``-march=native``!) is never
+reused.  Objects are compiled to a temporary name and ``os.replace``d
+into place, so a concurrent process can never ``CDLL`` a half-written
+file; when the cache dir is unwritable the backend degrades to
+compile-per-process in a private temp dir (mirroring ``PlanCache``'s
+in-memory degradation).
+
 Use :func:`available` to test for a working compiler,
 :func:`compile_chains` for a :class:`CompiledChains`, and
 :func:`multiply` for the one-call API.  Everything degrades loudly
-(``RuntimeError``), never silently, when no compiler exists.
+(``RuntimeError``), never silently, when no compiler exists; dispatch
+(:func:`repro.tuner.dispatch.execute_plan`) catches that and falls back
+to the NumPy-source modules so a ``backend="compiled"`` plan never fails
+a multiply.
 
 The kernels are float64-only; the driver computes in double and returns
 ``np.result_type(A, B)`` (float32 in -> float32 out, rounded once on
 exit).  Result dtypes double cannot represent by kind -- complex,
 extended-precision floats -- are rejected with ``ValueError`` and belong
-on the python codegen or interpreter paths.
+on the python codegen or interpreter paths.  :meth:`CompiledChains.multiply`
+accepts ``out=``/``workspace=`` like the generated NumPy modules: with a
+workspace sized by :func:`repro.core.workspace.cbackend_footprint` the
+warm path draws every slab, product buffer and peel temporary from the
+arena and allocates nothing from the heap.
 """
 
 from __future__ import annotations
@@ -48,6 +64,8 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import threading
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -56,20 +74,34 @@ from repro.codegen import cse as cse_mod
 from repro.codegen.chains import Chain, extract_chains
 from repro.core.algorithm import FastAlgorithm
 from repro.core.stability import stability_factors
+from repro.obs import telemetry
 from repro.util.matrices import peel_split
 from repro.util.validation import check_matmul_dims
 
 _CC = os.environ.get("REPRO_CC", "cc")
 _CFLAGS = ["-O3", "-march=native", "-std=c99", "-fPIC", "-shared"]
 _DPTR = ctypes.POINTER(ctypes.c_double)
+
+#: loaded shared objects keyed by :func:`_source_key`; guarded by
+#: ``_lib_lock`` (registered in the concurrency shared-state registry) --
+#: concurrent first-compiles of one algorithm must converge on one handle
+_lib_lock = threading.Lock()
 _LIB_CACHE: dict[str, ctypes.CDLL] = {}
+
+#: resolved on-disk cache directory: ``False`` until first resolution,
+#: then a ``Path`` or ``None`` (= unwritable, compile-per-process);
+#: ``warned`` makes the degradation warning fire once per process.
+#: Guarded by ``_lib_lock`` like the library cache itself.
+_CACHE_STATE: dict[str, object] = {"dir": False, "warned": False}
 
 
 @functools.lru_cache(maxsize=1)
 def available() -> bool:
     """True when a C compiler is present and produces loadable objects."""
     try:
-        _compile_source("void repro_probe(void) {}\n")
+        # the probe must never consume an injected cbackend.compilefail
+        # firing (and a transient fault must not poison this lru cache)
+        _compile_source("void repro_probe(void) {}\n", fire_faults=False)
         return True
     except (OSError, RuntimeError, subprocess.SubprocessError):
         return False
@@ -238,28 +270,140 @@ def generate_c_source(algorithm: FastAlgorithm, cse: bool = False) -> str:
 # ======================================================================
 # compilation and the ctypes driver
 # ======================================================================
-def _compile_source(src: str) -> ctypes.CDLL:
-    key = hashlib.sha1(src.encode()).hexdigest()
-    lib = _LIB_CACHE.get(key)
-    if lib is not None:
-        return lib
-    cache_dir = Path(tempfile.gettempdir()) / "repro-cbackend"
-    cache_dir.mkdir(exist_ok=True)
+def _source_key(src: str) -> str:
+    """Cache key for one translation unit: source alone is NOT enough.
+
+    ``-march=native`` objects are machine-specific, and a ``REPRO_CC`` or
+    flag change produces different code from identical source — so the
+    key digests (source, compiler, flags, machine fingerprint) together.
+    """
+    from repro.bench.machine import fingerprint_digest
+
+    blob = "\x00".join([src, _CC, " ".join(_CFLAGS), fingerprint_digest()])
+    return hashlib.sha1(blob.encode()).hexdigest()
+
+
+def _cache_dir_locked() -> Path | None:
+    """Resolve the on-disk ``.so`` cache dir (caller holds ``_lib_lock``).
+
+    Per-user, never world-shared: ``$REPRO_CACHE_DIR/cbackend`` when set,
+    else ``$XDG_CACHE_HOME``/``~/.cache`` + ``repro/cbackend``.  Returns
+    ``None`` when the directory cannot be created or written — callers
+    then compile into a private per-process temp dir, so a read-only home
+    (or a hostile shared mount) costs persistence, never correctness.
+    """
+    cur = _CACHE_STATE["dir"]
+    if cur is not False:
+        return cur
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        root = Path(env).expanduser() / "cbackend"
+    else:
+        base = os.environ.get("XDG_CACHE_HOME")
+        home = Path(base).expanduser() if base else Path.home() / ".cache"
+        root = home / "repro" / "cbackend"
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        probe = root / f".write-probe-{os.getpid()}"
+        probe.write_bytes(b"")
+        probe.unlink()
+    except OSError:
+        _CACHE_STATE["dir"] = None
+        if not _CACHE_STATE["warned"]:
+            _CACHE_STATE["warned"] = True
+            warnings.warn(
+                f"cbackend cache dir {root} is not writable; compiled "
+                f"objects will not persist across processes",
+                RuntimeWarning, stacklevel=3,
+            )
+        return None
+    _CACHE_STATE["dir"] = root
+    return root
+
+
+def _build_so(src: str, key: str, cache_dir: Path) -> Path:
+    """Compile ``src`` into ``cache_dir/chains-<key>.so`` atomically.
+
+    The compiler writes a (pid, thread)-suffixed temp name which is
+    ``os.replace``d into place only on success, so another process (or
+    thread -- same pid!) racing ``CDLL`` on the final name can never map
+    a half-written object; racing builders each own a distinct temp and
+    the last replace wins with identical content.
+    """
     so = cache_dir / f"chains-{key}.so"
-    if not so.exists():
-        cpath = cache_dir / f"chains-{key}.c"
-        cpath.write_text(src)
-        proc = subprocess.run(
-            [_CC, *_CFLAGS, "-o", str(so), str(cpath)],
-            capture_output=True, text=True,
-        )
+    uniq = f"{os.getpid()}-{threading.get_ident()}"
+    tmp = cache_dir / f"chains-{key}.{uniq}.tmp.so"
+    cpath = cache_dir / f"chains-{key}.{uniq}.tmp.c"
+    cpath.write_text(src)
+    try:
+        with telemetry.span("cbackend.compile"):
+            proc = subprocess.run(
+                [_CC, *_CFLAGS, "-o", str(tmp), str(cpath)],
+                capture_output=True, text=True,
+            )
+        telemetry.incr("cbackend.compiles")
         if proc.returncode != 0:
             raise RuntimeError(
                 f"C compilation failed ({_CC}):\n{proc.stderr[:2000]}"
             )
-    lib = ctypes.CDLL(str(so))
-    _LIB_CACHE[key] = lib
-    return lib
+        os.replace(tmp, so)
+        # keep the source next to the object for debugging (same-dir
+        # rename: atomic, and a loser of the race just overwrites with
+        # identical content)
+        os.replace(cpath, cache_dir / f"chains-{key}.c")
+    finally:
+        for leftover in (tmp, cpath):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
+    return so
+
+
+def _compile_source(src: str, fire_faults: bool = True) -> ctypes.CDLL:
+    key = _source_key(src)
+    with _lib_lock:
+        lib = _LIB_CACHE.get(key)
+        if lib is not None:
+            return lib
+        cache_dir = _cache_dir_locked()
+    if fire_faults:
+        from repro.guard import faults
+
+        if faults.active and faults.should_fire("cbackend.compilefail"):
+            raise faults.InjectedFault("injected fault: cbackend.compilefail")
+    if cache_dir is None:
+        # degraded mode: private per-process build dir, nothing persists
+        workdir = Path(tempfile.mkdtemp(prefix="repro-cbackend-"))
+        so = _build_so(src, key, workdir)
+    else:
+        so = cache_dir / f"chains-{key}.so"
+        if not so.exists():
+            _build_so(src, key, cache_dir)
+    with telemetry.span("cbackend.load"):
+        lib = ctypes.CDLL(str(so))
+    with _lib_lock:
+        # a concurrent compile of the same key may have won: converge on
+        # one handle so `_compile_source(src) is _compile_source(src)`
+        return _LIB_CACHE.setdefault(key, lib)
+
+
+def _take(ws, shape) -> np.ndarray:
+    """A float64 buffer from the arena (heap when no workspace given)."""
+    if ws is None:
+        return np.empty(shape, dtype=np.float64)
+    return ws.take(shape, np.float64)
+
+
+def _as_contiguous(X: np.ndarray, ws) -> np.ndarray:
+    """Contiguous float64 view/copy of ``X``, arena-backed when possible."""
+    if X.dtype == np.float64 and X.flags.c_contiguous:
+        return X
+    if ws is None:
+        return np.ascontiguousarray(X, dtype=np.float64)
+    buf = ws.take(X.shape, np.float64)
+    np.copyto(buf, X)
+    return buf
 
 
 class CompiledChains:
@@ -280,7 +424,14 @@ class CompiledChains:
             getattr(self.lib, fn).restype = None
 
     # ------------------------------------------------------------- driver
-    def multiply(self, A: np.ndarray, B: np.ndarray, steps: int = 1) -> np.ndarray:
+    def multiply(
+        self,
+        A: np.ndarray,
+        B: np.ndarray,
+        steps: int = 1,
+        out: np.ndarray | None = None,
+        workspace=None,
+    ) -> np.ndarray:
         """``A @ B`` with ``steps`` recursion levels of the algorithm.
 
         The compiled kernels are float64-only, so the driver computes in
@@ -289,10 +440,22 @@ class CompiledChains:
         dtypes double cannot hold exactly by kind (complex, extended
         precision) are rejected up front with a pointer at the python
         backends instead of being quietly narrowed.
+
+        ``out`` receives the product (same contract as the generated
+        NumPy modules: result dtype, writeable, non-overlapping).  With a
+        ``workspace`` sized by
+        :func:`repro.core.workspace.cbackend_footprint` every slab,
+        product buffer and peel temporary comes from the arena; the
+        returned array is never arena memory (a float64 ``out`` is
+        written directly, any other result is a fresh cast).
         """
+        from repro.core.workspace import check_out
+
         A = np.asarray(A)
         B = np.asarray(B)
         check_matmul_dims(A, B)
+        if out is not None:
+            check_out(out, A, B)
         dtype = np.result_type(A, B)
         if dtype.kind not in "fiub" or (dtype.kind == "f"
                                         and dtype.itemsize > 8):
@@ -301,8 +464,11 @@ class CompiledChains:
                 f"represent result dtype {dtype}; use "
                 f"repro.codegen.compile_algorithm or the interpreter instead"
             )
-        Ad = np.ascontiguousarray(A, dtype=np.float64)
-        Bd = np.ascontiguousarray(B, dtype=np.float64)
+        ws = workspace
+        if ws is not None:
+            ws.reset()
+        Ad = _as_contiguous(A, ws)
+        Bd = _as_contiguous(B, ws)
         if dtype.kind in "iub" and Ad.size and Bd.size:
             # double holds integers exactly only up to 2^53, and the fast
             # algorithm's *intermediates* (S_r/T_r sums, M_r products)
@@ -322,43 +488,74 @@ class CompiledChains:
                     " intermediates; the native chain backend computes in"
                     " double -- use the interpreter for big-integer products"
                 )
-        C = self._recurse(Ad, Bd, steps)
+        p, r = A.shape[0], B.shape[1]
+        if out is not None and dtype == np.float64 and out.dtype == np.float64:
+            dest = out
+        elif dtype == np.float64:
+            # the returned array must never be arena memory (the next
+            # call resets the workspace), so it comes from the heap
+            dest = np.empty((p, r), dtype=np.float64)
+        else:
+            dest = _take(ws, (p, r))
+        self._recurse(Ad, Bd, steps, dest, ws)
+        if dtype == np.float64:
+            return dest
+        C = dest
         if dtype.kind in "iub":
             C = np.rint(C)
-        return C if dtype == np.float64 else C.astype(dtype)
+        if out is not None:
+            np.copyto(out, C, casting="unsafe")
+            return out
+        return C.astype(dtype)
 
     __call__ = multiply
 
-    def _recurse(self, A: np.ndarray, B: np.ndarray, steps: int) -> np.ndarray:
+    def _recurse(self, A, B, steps: int, C: np.ndarray, ws) -> None:
+        """Write ``A @ B`` (float64) into ``C`` with ``steps`` levels."""
         p, q = A.shape
         r = B.shape[1]
         m, k, n = self.algorithm.base_case
         if steps <= 0 or p < m or q < k or r < n:
-            return A @ B
+            np.matmul(A, B, out=C)
+            return
         A11, A12, A21, A22 = peel_split(A, m, k)
         B11, B12, B21, B22 = peel_split(B, k, n)
         pc, qc = A11.shape
         rc = B11.shape[1]
-        # the driver is float64 throughout (multiply casts once on entry);
-        # explicit dtypes so a changed operand path can never reintroduce
-        # the bare-np.empty default-dtype bug class
-        C = np.empty((p, r), dtype=np.float64)
-        self._core(A11, B11, C[:pc, :rc], steps)
+        self._core(A11, B11, C[:pc, :rc], steps, ws)
+        # dynamic-peeling fix-ups run through arena temporaries: matmul
+        # into a contiguous buffer, then one in-place combine into the
+        # strided C quadrant (a strided matmul out= would buffer anyway)
+        mark = ws.mark() if ws is not None else None
         if q - qc:
-            C[:pc, :rc] += A12 @ B21
+            t = _take(ws, (pc, rc))
+            np.matmul(A12, B21, out=t)
+            C[:pc, :rc] += t
         if r - rc:
-            C[:pc, rc:] = A11 @ B12
+            t = _take(ws, (pc, r - rc))
+            np.matmul(A11, B12, out=t)
+            C[:pc, rc:] = t
             if q - qc:
-                C[:pc, rc:] += A12 @ B22
+                np.matmul(A12, B22, out=t)
+                C[:pc, rc:] += t
         if p - pc:
-            C[pc:, :rc] = A21 @ B11
+            t = _take(ws, (p - pc, rc))
+            np.matmul(A21, B11, out=t)
+            C[pc:, :rc] = t
             if q - qc:
-                C[pc:, :rc] += A22 @ B21
+                np.matmul(A22, B21, out=t)
+                C[pc:, :rc] += t
         if (p - pc) and (r - rc):
-            C[pc:, rc:] = A21 @ B12 + A22 @ B22
-        return C
+            t = _take(ws, (p - pc, r - rc))
+            np.matmul(A21, B12, out=t)
+            C[pc:, rc:] = t
+            if q - qc:
+                np.matmul(A22, B22, out=t)
+                C[pc:, rc:] += t
+        if ws is not None:
+            ws.release(mark)
 
-    def _core(self, A, B, Cout, steps) -> None:
+    def _core(self, A, B, Cout, steps, ws) -> None:
         """One level on an evenly divisible core; writes into ``Cout``."""
         m, k, n = self.algorithm.base_case
         R = self.algorithm.rank
@@ -366,8 +563,9 @@ class CompiledChains:
         r = B.shape[1]
         bp, bq, bn = p // m, q // k, r // n
 
-        Sslab = np.empty((max(self._s["slots"], 1), bp * bq), dtype=np.float64)
-        Tslab = np.empty((max(self._t["slots"], 1), bq * bn), dtype=np.float64)
+        mark = ws.mark() if ws is not None else None
+        Sslab = _take(ws, (max(self._s["slots"], 1), bp * bq))
+        Tslab = _take(ws, (max(self._t["slots"], 1), bq * bn))
         self.lib.form_S(
             A.ctypes.data_as(_DPTR), ctypes.c_long(A.strides[0] // 8),
             ctypes.c_long(bp), ctypes.c_long(bq), Sslab.ctypes.data_as(_DPTR),
@@ -384,25 +582,39 @@ class CompiledChains:
             bi, bj = divmod(idx, block_cols)
             return X[bi * rows:(bi + 1) * rows, bj * cols:(bj + 1) * cols]
 
-        products: list[np.ndarray] = []
+        # one contiguous slab holds all R products: its rows are what the
+        # form_C pointer array addresses, and a deeper recursion level
+        # writes its result straight into the row (no per-product heap)
+        Mslab = _take(ws, (R, bp * bn))
+        deeper = steps > 1 and min(bp, bq, bn) >= max(m, k, n)
         for rr in range(R):
             S = operand(self._s["layout"], Sslab, A, bp, bq, k, rr)
             T = operand(self._t["layout"], Tslab, B, bq, bn, n, rr)
-            if steps > 1 and min(bp, bq, bn) >= max(m, k, n):
-                M = self._recurse(np.ascontiguousarray(S),
-                                  np.ascontiguousarray(T), steps - 1)
+            Mview = Mslab[rr].reshape(bp, bn)
+            rmark = ws.mark() if ws is not None else None
+            if deeper:
+                self._recurse(_as_contiguous(S, ws), _as_contiguous(T, ws),
+                              steps - 1, Mview, ws)
             else:
-                M = S @ T
-            products.append(np.ascontiguousarray(M))
+                # alias operands are strided block views; BLAS wants them
+                # packed, so pack into the arena instead of letting
+                # np.matmul buffer on the heap
+                np.matmul(_as_contiguous(S, ws), _as_contiguous(T, ws),
+                          out=Mview)
+            if ws is not None:
+                ws.release(rmark)
 
-        Mptrs = (_DPTR * R)(*[pr.ctypes.data_as(_DPTR) for pr in products])
+        Mptrs = (_DPTR * R)(*[Mslab[rr].ctypes.data_as(_DPTR)
+                              for rr in range(R)])
         ndefs = len(self._c["defs"])
-        scratch = np.empty(max(ndefs, 1) * bn, dtype=np.float64)
+        scratch = _take(ws, (max(ndefs, 1) * bn,))
         self.lib.form_C(
             Mptrs, ctypes.c_long(bp), ctypes.c_long(bn),
             Cout.ctypes.data_as(_DPTR), ctypes.c_long(Cout.strides[0] // 8),
             scratch.ctypes.data_as(_DPTR),
         )
+        if ws is not None:
+            ws.release(mark)
 
 
 @functools.lru_cache(maxsize=64)

@@ -52,6 +52,16 @@ EMISSION_CONTRACT = {
         "np.empty", "ws.take", "runtime.streaming_combine",
         "runtime.streaming_output", "runtime.streaming_output_stacked",
     ),
+    # Not a Python lowering strategy: the statement forms the C chain
+    # emitter (``repro.codegen.cbackend``) may produce inside its fused
+    # form_S/form_T/form_C kernels.  The C-side verifier
+    # (``repro.analyze.cemit``) parses exactly these shapes back into
+    # coefficient tables, so emitter drift fails the same way Python-side
+    # drift does.
+    "cbackend": (
+        "block_ptr", "slab_ptr", "product_ptr", "scratch_ptr",
+        "output_ptr", "fused_store",
+    ),
 }
 
 

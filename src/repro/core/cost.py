@@ -200,6 +200,17 @@ def parallel_traffic(
     return traffic
 
 
+#: relative bandwidth charge of one addition flop under the compiled C
+#: chain backend.  The NumPy strategies make one fused in-place pass *per
+#: operand pair* of a chain (a length-L chain streams its destination
+#: L-1 times), while the emitted C forms each S_r/T_r/C_ij row in a
+#: single fused loop -- every operand read once, the destination written
+#: once -- so the memory traffic per addition flop roughly halves.  The
+#: leaf gemms are identical on both backends, which is why the discount
+#: applies only to the addition term.
+COMPILED_ADD_DISCOUNT = 0.5
+
+
 def plan_cost(
     alg: FastAlgorithm | None,
     p: int,
@@ -210,6 +221,7 @@ def plan_cost(
     scheme: str = "sequential",
     threads: int = 1,
     subgroup: int | None = None,
+    backend: str = "numpy",
 ) -> float:
     """Tuner ranking score for running ``alg`` at ``steps`` on ``p x q x r``.
 
@@ -222,11 +234,20 @@ def plan_cost(
     bandwidth penalty, which is what makes P' candidates cost-rankable
     before any of them is timed.  ``alg=None`` scores the plain vendor
     gemm.  Lower is better; the unit is "gemm-equivalent flops".
+
+    ``backend="compiled"`` scores the fused single-pass C chain kernels:
+    the addition penalty shrinks by :data:`COMPILED_ADD_DISCOUNT` (the
+    leaf gemms and the traffic term are backend-independent), which is
+    what lets a compiled sequential twin outrank its NumPy sibling in the
+    candidate shortlist without a measurement.
     """
     if alg is None or steps <= 0:
         return 2.0 * p * q * r
     mults, adds = estimate_recursive_flops(alg, p, q, r, steps)
-    cost = mults + add_penalty * adds
+    eff_penalty = add_penalty
+    if backend == "compiled":
+        eff_penalty *= COMPILED_ADD_DISCOUNT
+    cost = mults + eff_penalty * adds
     cost += add_penalty * parallel_traffic(
         alg, p, q, r, steps, scheme=scheme, threads=threads, subgroup=subgroup
     )

@@ -289,6 +289,28 @@ class Workspace:
                                    dtype_a, steps, dtype_b=dtype_b)
         return cls(nbytes)
 
+    @classmethod
+    def for_cbackend(
+        cls,
+        algorithm,
+        cse: bool,
+        shape: tuple[int, int, int],
+        dtype_a="float64",
+        steps: int = 1,
+        dtype_b=None,
+    ) -> "Workspace":
+        """Arena for the compiled C chain driver (``backend="compiled"``).
+
+        Sized by :func:`cbackend_footprint`, which mirrors
+        :meth:`repro.codegen.cbackend.CompiledChains.multiply`: float64
+        conversion copies, per-level S/T slabs, the contiguous product
+        slab, C-side ``Y`` scratch and the dynamic-peeling fix-up
+        temporaries.
+        """
+        nbytes = cbackend_footprint(algorithm, cse, shape, dtype_a, steps,
+                                    dtype_b=dtype_b)
+        return cls(nbytes)
+
 
 class WorkspacePool:
     """A checkout pool of identical arenas for elementwise batch fan-out.
@@ -639,6 +661,96 @@ def codegen_footprint(
 
     p, q, r = shape
     total = level(int(p), int(q), int(r), int(steps))
+    return total + state["takes"] * _ALIGN_SLACK + ALIGNMENT
+
+
+def cbackend_footprint(
+    algorithm,
+    cse: bool,
+    shape: tuple[int, int, int],
+    dtype_a="float64",
+    steps: int = 1,
+    dtype_b=None,
+) -> int:
+    """Arena bytes for the compiled C chain driver (``backend="compiled"``).
+
+    Mirrors :meth:`repro.codegen.cbackend.CompiledChains.multiply`, whose
+    memory shape differs from both the interpreter and the generated
+    NumPy modules:
+
+    - every slot is **float64** regardless of the operand dtypes (the C
+      kernels compute in double); non-double operands draw one conversion
+      copy each, and a non-double result draws a double accumulation
+      buffer that is cast once on exit;
+    - ``form_S``/``form_T`` fill whole **slab arrays** (one row per CSE
+      definition + non-alias chain) in a single call, so all slab rows of
+      a level are live at once, alongside the contiguous ``(R, bp, bn)``
+      product slab that ``form_C`` reads after the rank loop;
+    - alias (zero-traffic) chains are strided block views that get packed
+      into the arena right before the leaf dgemm or a deeper recursion
+      (one S-sized + one T-sized buffer, marked/released per rank);
+    - ``form_C`` takes ``|C defs|`` scratch rows, and each level where a
+      dimension peels draws per-quadrant fix-up buffers.
+
+    Slot counts come from the backend's own
+    :func:`repro.codegen.cbackend._prepare` (imported lazily --
+    ``repro.codegen`` depends on this module, not vice versa), so arena
+    sizing cannot drift from the slab layout the emitted C actually uses.
+    """
+    from repro.codegen.cbackend import _prepare
+
+    s, t, c = _prepare(algorithm, cse)
+    m, k, n = algorithm.base_case
+    R = algorithm.rank
+    isz = np.dtype(np.float64).itemsize
+    res = np.result_type(np.dtype(dtype_a),
+                         np.dtype(dtype_b if dtype_b is not None else dtype_a))
+    state = {"takes": 0}
+
+    def take(nelems: int) -> int:
+        if nelems <= 0:
+            return 0
+        state["takes"] += 1
+        return _align_up(int(nelems) * isz)
+
+    p, q, r = (int(d) for d in shape)
+    total = 0
+    if np.dtype(dtype_a) != np.float64:
+        total += take(p * q)                        # Ad conversion copy
+    if np.dtype(dtype_b if dtype_b is not None else dtype_a) != np.float64:
+        total += take(q * r)                        # Bd conversion copy
+    if res != np.float64:
+        total += take(p * r)                        # double result buffer
+
+    def level(p: int, q: int, r: int, left: int) -> int:
+        if left <= 0 or p < m or q < k or r < n:
+            return 0
+        pc, qc, rc = p - p % m, q - q % k, r - r % n
+        bp, bq, bn = pc // m, qc // k, rc // n
+        lvl = take(max(s["slots"], 1) * bp * bq)    # form_S slab
+        lvl += take(max(t["slots"], 1) * bq * bn)   # form_T slab
+        lvl += take(R * bp * bn)                    # product slab
+        lvl += take(max(len(c["defs"]), 1) * bn)    # form_C Y scratch
+        # per-rank packing of alias (strided block view) operands before
+        # the leaf dgemm or a deeper recursion; released before the next
+        # rank, so one instance bounds all R
+        if any(kind == "alias" for kind, _ in s["layout"]):
+            lvl += take(bp * bq)
+        if any(kind == "alias" for kind, _ in t["layout"]):
+            lvl += take(bq * bn)
+        if left > 1 and min(bp, bq, bn) >= max(m, k, n):
+            lvl += level(bp, bq, bn, left - 1)
+        if q - qc:
+            lvl += take(pc * rc)                    # core += A12 @ B21
+        if r - rc:
+            lvl += take(pc * (r - rc))
+        if p - pc:
+            lvl += take((p - pc) * rc)
+        if (p - pc) and (r - rc):
+            lvl += take((p - pc) * (r - rc))
+        return lvl
+
+    total += level(p, q, r, int(steps))
     return total + state["takes"] * _ALIGN_SLACK + ALIGNMENT
 
 

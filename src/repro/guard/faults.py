@@ -30,6 +30,13 @@ Injection points (the names the chaos suite and CI use):
     :meth:`repro.tuner.cache.PlanCache.load` treats the cache file as
     unparsable -- a crash mid-write / bit-rot scenario, exercising the
     warn-once + ``.corrupt``-sidecar recovery path.
+``cbackend.compilefail``
+    :func:`repro.codegen.cbackend._compile_source` raises
+    :class:`InjectedFault` instead of invoking the compiler -- a broken
+    toolchain discovered at serving time; dispatch must degrade a
+    ``backend="compiled"`` plan to the NumPy-source module, never fail
+    the multiply.  (The ``available()`` probe is exempt so a transient
+    injected fault cannot poison its process-lifetime cache.)
 
 Activation is explicit: the :func:`inject` context manager (tests), or
 the ``REPRO_FAULTS`` environment variable (CI chaos jobs), e.g.
@@ -60,6 +67,7 @@ POINTS = (
     "worker.die",
     "workspace.overflow",
     "cache.corrupt",
+    "cbackend.compilefail",
 )
 
 #: default upper bound on an injected hang -- a chaos run whose watchdog

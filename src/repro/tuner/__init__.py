@@ -86,17 +86,21 @@ from repro.tuner.policy import (
 )
 from repro.tuner.space import (
     BATCH_MODES,
+    PLAN_BACKENDS,
     BatchPlan,
     Plan,
     batch_plan_cost,
     candidate_algorithms,
+    compiled_backend_available,
     enumerate_batch_plans,
     enumerate_plans,
+    retarget_backend,
     subgroup_candidates,
 )
 
 __all__ = [
     "BATCH_MODES",
+    "PLAN_BACKENDS",
     "BatchPlan",
     "Plan",
     "PlanCache",
@@ -114,6 +118,7 @@ __all__ = [
     "batch_plan_cost",
     "batched_key",
     "candidate_algorithms",
+    "compiled_backend_available",
     "default_cache_path",
     "enumerate_batch_plans",
     "enumerate_plans",
@@ -130,6 +135,7 @@ __all__ = [
     "reset_shared_cache",
     "reset_shared_policies",
     "reset_workspaces",
+    "retarget_backend",
     "retarget_plan",
     "shutdown_shared_pools",
     "subgroup_candidates",

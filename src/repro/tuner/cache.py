@@ -69,14 +69,17 @@ _log = logging.getLogger("repro.tuner.cache")
 #: timings no longer describe what dispatch executes and must be re-tuned;
 #: v5: entries record the scheme and sub-group P' they were tuned with --
 #: v4 plans never swept P', so their parallel timings do not describe the
-#: enlarged candidate space and must be re-tuned)
-SCHEMA_VERSION = 5
+#: enlarged candidate space and must be re-tuned;
+#: v6: entries record the serving backend -- v5 plans never swept the
+#: compiled C chain backend, so on hosts with a compiler their sequential
+#: timings describe only half the candidate space and must be re-tuned)
+SCHEMA_VERSION = 6
 
 #: schema versions :meth:`PlanCache.load` can still *read*: their entries
 #: surface as stale-schema (visible to ``cache show`` and cleared by
 #: ``invalidate``) but are bypassed by every lookup, exactly like a
 #: foreign machine fingerprint
-COMPAT_SCHEMAS = (4,)
+COMPAT_SCHEMAS = (4, 5)
 
 #: default max log-space distance for the nearest-shape fallback
 #: (1.0 ~= one dimension off by a factor e)
@@ -501,15 +504,17 @@ class PlanCache:
             plan: Plan, seconds: float | None = None,
             gflops: float | None = None) -> None:
         """Store a tuned plan.  Besides the plan dict itself, the entry
-        records the scheme and sub-group P' it was tuned with as explicit
-        top-level fields -- ``cache show`` and external tooling read the
-        parallel configuration without decoding the plan."""
+        records the scheme, sub-group P' and serving backend it was tuned
+        with as explicit top-level fields -- ``cache show`` and external
+        tooling read the execution configuration without decoding the
+        plan."""
         with self._lock:
             self._ensure()
             self._entries[problem_key(m, k, n, dtype, threads)] = {
                 "plan": plan.to_dict(),
                 "scheme": plan.scheme,
                 "subgroup": plan.subgroup,
+                "backend": plan.backend,
                 "seconds": seconds,
                 "gflops": gflops,
                 "fingerprint": self.fingerprint,
@@ -534,6 +539,7 @@ class PlanCache:
                 "plan": plan.to_dict(),
                 "scheme": plan.scheme,
                 "subgroup": plan.subgroup,
+                "backend": plan.backend,
                 "batch": bplan.mode,
                 "workers": bplan.workers,
                 "seconds": seconds,

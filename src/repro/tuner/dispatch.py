@@ -88,6 +88,10 @@ _workspaces: "OrderedDict[tuple, Workspace]" = OrderedDict()
 #: A duplicate warning from two racing threads is benign, so membership is
 #: checked without the dispatch lock.
 _overflow_warned: set[tuple] = set()
+#: algorithms already warned about a serving-time compile/load failure --
+#: like ``_overflow_warned``, the warning fires once, the telemetry
+#: counter every time, and a duplicate from racing threads is benign
+_cbackend_warned: set[str] = set()
 _pools: dict[int, WorkerPool] = {}
 #: guards _workspaces/_pools/_default_cache mutation -- concurrent
 #: dispatchers are a supported pattern (arenas are thread-keyed), so the
@@ -118,6 +122,7 @@ def reset_workspaces() -> None:
     with _dispatch_lock:
         _workspaces.clear()
         _overflow_warned.clear()
+        _cbackend_warned.clear()
 
 
 def shutdown_shared_pools() -> None:
@@ -182,6 +187,14 @@ def build_workspace(plan: Plan, p: int, q: int, r: int,
         return None
     alg = get_algorithm(plan.algorithm)
     if plan.scheme == "sequential":
+        if plan.backend == "compiled":
+            # compiled plans run the C chain kernels, whose memory shape
+            # (fused S/T slabs, the R-row product slab, Y scratch, alias
+            # packing) cbackend_footprint mirrors -- the codegen formula
+            # below charges for a different executor and would mis-size
+            return Workspace.for_cbackend(alg, False, (p, q, r),
+                                          dtype_a, plan.steps,
+                                          dtype_b=dtype_b)
         # sequential plans are served by the *generated* module, whose
         # memory shape (all R products of a level live until C assembly,
         # strategy slabs, CSE temporaries) the codegen footprint mirrors --
@@ -280,6 +293,33 @@ def evict_workspace(plan: Plan, p: int, q: int, r: int,
         return _workspaces.pop(key, None) is not None
 
 
+def _compiled_chains(plan: Plan):
+    """The compiled C chain module serving ``plan``, or ``None`` when the
+    toolchain fails at dispatch time.
+
+    A ``backend="compiled"`` plan must never fail a multiply that the
+    NumPy-source module could have served: a compile/load error (compiler
+    uninstalled since tuning, cache dir yanked, ``cbackend.compilefail``
+    chaos) is counted in ``cbackend.fallbacks``, warned once per
+    algorithm, and answered with ``None`` so :func:`execute_plan` degrades
+    in-band to :func:`repro.codegen.compile_algorithm`.
+    """
+    from repro.codegen import cbackend
+
+    try:
+        return cbackend.compile_chains(plan.algorithm)
+    except (OSError, RuntimeError) as exc:
+        telemetry.incr("cbackend.fallbacks")
+        if plan.algorithm not in _cbackend_warned:
+            _cbackend_warned.add(plan.algorithm)
+            _log.warning(
+                "compiled backend unavailable for %r (%s); serving plan "
+                "[%s] with the generated NumPy module instead",
+                plan.algorithm, exc, plan.describe(),
+            )
+        return None
+
+
 def execute_plan(
     plan: Plan,
     A: np.ndarray,
@@ -310,6 +350,18 @@ def execute_plan(
             return out
     alg = get_algorithm(plan.algorithm)
     if plan.scheme == "sequential":
+        if plan.backend == "compiled":
+            cc = _compiled_chains(plan)
+            if cc is not None:
+                with blas.blas_threads(plan.threads):
+                    return cc.multiply(A, B, steps=plan.steps, out=out,
+                                       workspace=workspace)
+            # toolchain broke at serving time: degrade in-band to the
+            # generated NumPy module.  The arena was sized for the C
+            # executor, so it is dropped rather than reused -- the
+            # generated module allocates its own temporaries for this
+            # (rare, counted) call instead of mis-fitting a foreign arena.
+            workspace = None
         fn = compile_algorithm(alg, strategy=plan.strategy)
         with blas.blas_threads(plan.threads):
             return fn(A, B, steps=plan.steps, out=out, workspace=workspace)
@@ -403,6 +455,7 @@ def _record_call(plan: Plan, source: str, p: int, q: int, r: int,
     per-call record into the introspection ring buffer."""
     telemetry.incr("dispatch.calls")
     telemetry.incr("dispatch.source", source=source)
+    telemetry.incr("dispatch.backend", backend=plan.backend)
     gflops = effective_gflops(p, q, r, seconds) if seconds > 0 else 0.0
     telemetry.set_gauge("dispatch.last_gflops", gflops)
     telemetry.set_gauge("dispatch.last_seconds", seconds)
@@ -413,6 +466,7 @@ def _record_call(plan: Plan, source: str, p: int, q: int, r: int,
         "source": source,
         "plan": plan.describe(),
         "scheme": plan.scheme,
+        "backend": plan.backend,
         "seconds": seconds,
         "gflops": gflops,
         "timed": timed,

@@ -131,8 +131,13 @@ def measure_plan(
 
     Timed through the same workspace-arena path dispatch serves (the
     warmup call builds the arena), so the cache commits to numbers the
-    steady state will actually reproduce.
+    steady state will actually reproduce.  Compiled-backend candidates
+    always get at least one warmup call: their first execution may pay a
+    C compile + ``dlopen``, which belongs to no steady state and must
+    never land inside a timed trial.
     """
+    if plan.backend == "compiled":
+        warmup = max(warmup, 1)
     p, q = A.shape
     r = B.shape[1]
     # throwaway arena: candidate plans that lose must not pollute (or

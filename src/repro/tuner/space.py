@@ -45,6 +45,11 @@ MAX_STEPS = {"float32": 4, "float64": 3}
 #: plain-BLAS pseudo-algorithm name usable in plans
 DGEMM = "dgemm"
 
+#: serving backends a plan may name: the NumPy-source generated modules
+#: (every host) or the compiled C chain kernels (hosts where
+#: ``repro.codegen.cbackend.available()`` -- enumerated only there)
+PLAN_BACKENDS = ("numpy", "compiled")
+
 
 def default_min_leaf(dtype: str = "float64") -> int:
     """Leaf cutoff for a dtype's candidate space."""
@@ -75,6 +80,13 @@ class Plan:
     ``subgroup`` threads, so it must divide ``threads``; ``None`` defers
     to :func:`repro.parallel.schedules.default_subgroup` at execution
     time and is the only legal value for every other scheme.
+
+    ``backend`` picks the serving kernels for a sequential fast plan:
+    ``"numpy"`` (the generated NumPy-source modules) or ``"compiled"``
+    (the fused single-pass C chain kernels of
+    :mod:`repro.codegen.cbackend`).  Compiled plans are sequential-only
+    -- the parallel schemes schedule the NumPy executors -- and
+    meaningless for dgemm, which has no chains to fuse.
     """
 
     algorithm: str = DGEMM
@@ -84,6 +96,7 @@ class Plan:
     threads: int = 1
     min_leaf: int = DEFAULT_MIN_LEAF
     subgroup: int | None = None
+    backend: str = "numpy"
 
     def __post_init__(self):
         if self.scheme not in PLAN_SCHEMES:
@@ -94,6 +107,21 @@ class Plan:
             raise ValueError("steps must be >= 0")
         if self.threads < 1:
             raise ValueError("threads must be >= 1")
+        if self.backend not in PLAN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {PLAN_BACKENDS}, got {self.backend!r}"
+            )
+        if self.backend == "compiled":
+            if self.algorithm == DGEMM or self.steps == 0:
+                raise ValueError(
+                    "backend='compiled' needs a fast algorithm with "
+                    "steps >= 1; dgemm has no chains to compile"
+                )
+            if self.scheme != "sequential":
+                raise ValueError(
+                    f"backend='compiled' serves the sequential path only, "
+                    f"not scheme {self.scheme!r}"
+                )
         if self.subgroup is not None:
             if self.scheme != "hybrid-subgroup":
                 raise ValueError(
@@ -116,9 +144,12 @@ class Plan:
         scheme = self.scheme
         if self.subgroup is not None:
             scheme = f"{scheme}[P'={self.subgroup}]"
+        # the backend is part of a plan's identity (quarantine ledger keys
+        # and cache displays go through describe), so surface it
+        suffix = " [cc]" if self.backend == "compiled" else ""
         return (
             f"{self.algorithm} steps={self.steps} {scheme}"
-            f"({self.threads}t)"
+            f"({self.threads}t){suffix}"
         )
 
     def to_dict(self) -> dict:
@@ -131,6 +162,41 @@ class Plan:
                             f"{type(d).__name__}")
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in d.items() if k in known})
+
+
+def retarget_backend(plan: Plan, backend: str) -> Plan:
+    """The same plan pinned to ``backend``, validating compatibility.
+
+    ``backend="compiled"`` requires a sequential fast plan (dgemm and the
+    parallel schemes have nothing for the C chain kernels to serve) --
+    incompatible retargets raise ``ValueError`` rather than silently
+    returning a plan that would degrade on every call.
+    """
+    if backend not in PLAN_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {PLAN_BACKENDS}, got {backend!r}"
+        )
+    if plan.backend == backend:
+        return plan
+    if backend == "compiled" and (plan.is_dgemm
+                                  or plan.scheme != "sequential"):
+        raise ValueError(
+            f"plan {plan.describe()} cannot serve backend='compiled' "
+            f"(needs a sequential fast plan)"
+        )
+    return dataclasses.replace(plan, backend=backend)
+
+
+def compiled_backend_available() -> bool:
+    """True when the compiled C chain backend can serve plans here.
+
+    Lazy import so merely enumerating plans on a host without a compiler
+    never pays the probe's import cost twice; the underlying probe result
+    is process-cached by ``cbackend.available``.
+    """
+    from repro.codegen import cbackend
+
+    return cbackend.available()
 
 
 #: the batch-parallelism axis: run the pool *within* each multiply (the
@@ -335,12 +401,18 @@ def enumerate_plans(
     (algorithm, steps) pair is additionally bounded by
     :func:`repro.core.stability.max_stable_steps` so the extra depth never
     exceeds the precision's growth budget.
+
+    On hosts with a working C compiler every sequential candidate gets a
+    ``backend="compiled"`` twin, costed with the fused-chain discount
+    (:data:`repro.core.cost.COMPILED_ADD_DISCOUNT`); hosts without one
+    never see a compiled candidate, so tuning stays portable.
     """
     dtype = str(dtype)
     if min_leaf is None:
         min_leaf = default_min_leaf(dtype)
     cap = MAX_STEPS.get(dtype, MAX_STEPS["float64"])
     schemes = ("sequential",) if threads <= 1 else SCHEMES
+    compiled_ok = "sequential" in schemes and compiled_backend_available()
     subgroups = subgroup_candidates(threads)
     scored: list[tuple[float, Plan]] = [
         (plan_cost(None, p, q, r, 0), Plan(threads=threads, min_leaf=min_leaf))
@@ -371,6 +443,17 @@ def enumerate_plans(
                     scored.append((cost, Plan(
                         algorithm=name, steps=steps, scheme=scheme,
                         threads=threads, min_leaf=min_leaf, subgroup=sub,
+                    )))
+            if compiled_ok:
+                # the compiled twin of the sequential candidate: same
+                # arithmetic, fused single-pass additions (cheaper traffic)
+                ccost = plan_cost(alg, p, q, r, steps,
+                                  add_penalty=add_penalty, backend="compiled")
+                if ccost < dgemm_cost:
+                    scored.append((ccost, Plan(
+                        algorithm=name, steps=steps, scheme="sequential",
+                        threads=threads, min_leaf=min_leaf,
+                        backend="compiled",
                     )))
     scored.sort(key=lambda cp_: (cp_[0], cp_[1].describe()))
     plans = [pl for _, pl in scored]

@@ -22,7 +22,7 @@ import pytest
 from conftest import run_cli
 from repro import analyze
 from repro.algorithms import get_algorithm
-from repro.analyze import arena, catalog, concurrency, symbolic
+from repro.analyze import arena, catalog, cemit, concurrency, symbolic
 from repro.analyze.base import Finding, has_code
 from repro.codegen.generator import generate_source
 from repro.codegen.strategies import EMISSION_CONTRACT, STRATEGIES
@@ -90,6 +90,14 @@ def test_concurrency_tree_sweep_clean():
 def test_catalog_golden():
     checked, findings = catalog.check_catalog()
     assert checked >= 15
+    assert findings == []
+
+
+def test_cemit_golden_catalog():
+    # the C emitter sweep needs no compiler: emission is pure string
+    # generation, so this proof holds on toolchain-free hosts too
+    checked, findings = cemit.verify_catalog()
+    assert checked >= 20
     assert findings == []
 
 
@@ -173,6 +181,52 @@ def test_mutation_unlocked_mutation_is_detected():
     assert findings[0].where == "fake.mod:7"
 
 
+def test_mutation_cemit_corruptions_are_detected():
+    from repro.codegen.cbackend import generate_c_source
+
+    alg = get_algorithm("strassen")
+    src = generate_c_source(alg, False)
+    # flipped sign in a fused store -> wrong bilinear tensor
+    sign = src.replace("pA0[j] + pA3[j]", "pA0[j] - pA3[j]", 1)
+    assert sign != src
+    assert has_code(cemit.verify_source(sign, alg, False, where="mut"),
+                    "CEMIT-TENSOR")
+    # a statement outside the emission contract fails loud, never skips
+    alien = src.replace("#include <stddef.h>",
+                        "#include <stddef.h>\nint rogue = 1;")
+    assert has_code(cemit.verify_source(alien, alg, False, where="mut"),
+                    "CEMIT-PARSE")
+    # provenance header drift
+    stale = src.replace("rank 7", "rank 8", 1)
+    assert stale != src
+    assert has_code(cemit.verify_source(stale, alg, False, where="mut"),
+                    "CEMIT-HEADER")
+
+
+def test_mutation_unlocked_lib_cache_is_detected():
+    # satellite regression: the shared-library cache must stay behind its
+    # lock.  The shipped source is proven clean, then the cache store is
+    # hoisted out of its ``with _lib_lock`` block and the lint must fire.
+    from pathlib import Path
+
+    import repro.codegen.cbackend as cb
+
+    src = Path(cb.__file__).read_text()
+    states = tuple(s for s in concurrency.REGISTRY
+                   if s.module == "codegen/cbackend.py")
+    assert {s.name for s in states} >= {"_LIB_CACHE", "_CACHE_STATE"}
+    _, clean = concurrency.check_module_source(
+        src, states, where="codegen/cbackend.py")
+    assert clean == []
+    mut = re.sub(
+        r"with _lib_lock:\n(?:\s*#[^\n]*\n)*\s*"
+        r"return _LIB_CACHE\.setdefault\(key, lib\)",
+        "return _LIB_CACHE.setdefault(key, lib)", src)
+    assert mut != src
+    _, findings = concurrency.check_module_source(mut, states, where="mut")
+    assert has_code(findings, "CONC-UNLOCKED")
+
+
 def test_mutation_corrupted_scheme_is_detected():
     alg = get_algorithm("strassen")
     U = alg.U.copy()
@@ -205,10 +259,12 @@ def test_run_dispatches_and_counts():
 
 
 def test_emission_contract_covers_all_strategies():
-    assert set(EMISSION_CONTRACT) == set(STRATEGIES)
+    # every Python strategy plus the C chain emitter's statement forms
+    assert set(EMISSION_CONTRACT) == set(STRATEGIES) | {"cbackend"}
     # the arena-backed lowerings draw from the workspace, never the heap
     assert "ws.take" in EMISSION_CONTRACT["write_once"]
     assert "ws.take" in EMISSION_CONTRACT["streaming"]
+    assert "fused_store" in EMISSION_CONTRACT["cbackend"]
 
 
 def test_scheme_metadata_in_generated_modules():

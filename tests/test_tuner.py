@@ -143,10 +143,12 @@ class TestEnumeration:
         assert all(pl.is_dgemm for pl in plans)
 
     def test_sorted_by_model_cost(self):
+        # rank with the same model dispatch uses -- including the
+        # compiled-backend discount, so [cc] twins sort where they serve
         plans = [pl for pl in tuner.enumerate_plans(1024, 1024, 1024)
                  if not pl.is_dgemm]
         costs = [plan_cost(get_algorithm(pl.algorithm), 1024, 1024, 1024,
-                           pl.steps) for pl in plans]
+                           pl.steps, backend=pl.backend) for pl in plans]
         assert costs == sorted(costs)
 
     def test_max_candidates_keeps_baseline(self):
